@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Every figure/table benchmark draws on the same cached capacity runs,
+exactly like the paper post-processing one trace set per load point.
+The first benchmark touching a load point pays its simulation cost;
+the cache makes the full suite affordable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import CapacityRuns
+
+BENCH_DURATION_S = 30.0
+BENCH_SEED = 2007
+
+
+@pytest.fixture(scope="session")
+def shared_runs() -> CapacityRuns:
+    """Session-wide capacity-run cache for the figure benchmarks."""
+    return CapacityRuns(duration_s=BENCH_DURATION_S, seed=BENCH_SEED)
+
+
+def assert_and_report(result):
+    """Common epilogue: print the reproduction and gate on its checks."""
+    print()
+    print(result.summary())
+    assert result.all_passed, (
+        f"shape checks failed for {result.experiment_id}:\n"
+        + result.summary()
+    )
+    return result

@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Fig. 10 (delivery CDF, heavy load).
+
+Paper: packet CRC collapses at 13.8 Kbit/s/node; PPR's frame delivery
+rate remains high.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_delivery
+
+
+def test_bench_fig10(benchmark, shared_runs):
+    result = benchmark.pedantic(
+        lambda: exp_delivery.run_fig10(shared_runs), rounds=1, iterations=1
+    )
+    assert_and_report(result)

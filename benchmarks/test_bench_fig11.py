@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Fig. 11 (per-link throughput CDF).
+
+Paper: at 6.9 Kbit/s/node (near saturation) PPR delivers the most
+throughput per link, then fragmented CRC, then packet CRC.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_fig11
+
+
+def test_bench_fig11(benchmark, shared_runs):
+    result = benchmark.pedantic(
+        lambda: exp_fig11.run(shared_runs), rounds=1, iterations=1
+    )
+    assert_and_report(result)

@@ -1,0 +1,17 @@
+"""Benchmark regenerating paper Fig. 12 (throughput scatter).
+
+Paper: PPR sits above fragmented CRC by a roughly constant factor;
+packet CRC scatters far below; link-quality spread shrinks with finer
+recovery granularity.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_fig12
+
+
+def test_bench_fig12(benchmark, shared_runs):
+    result = benchmark.pedantic(
+        lambda: exp_fig12.run(shared_runs), rounds=1, iterations=1
+    )
+    assert_and_report(result)

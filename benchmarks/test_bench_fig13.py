@@ -1,0 +1,18 @@
+"""Benchmark regenerating paper Fig. 13 (anatomy of a collision).
+
+Paper: Hamming distance near zero over cleanly-received codeword runs,
+high across the collision; the second packet is recovered through its
+postamble.  This is the one waveform-level experiment: MSK modulation,
+superposition, matched filtering, correlation sync, rollback.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_fig13
+
+
+def test_bench_fig13(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_fig13.run(), rounds=1, iterations=1
+    )
+    assert_and_report(result)

@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Fig. 14 (miss-length CCDF).
+
+Paper: most SoftPHY misses are short (~30% of length 1) and the length
+distribution decays faster than exponential.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_fig14
+
+
+def test_bench_fig14(benchmark, shared_runs):
+    result = benchmark.pedantic(
+        lambda: exp_fig14.run(shared_runs), rounds=1, iterations=1
+    )
+    assert_and_report(result)

@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Fig. 15 (false-alarm rate vs eta).
+
+Paper: false-alarm rate on the order of 5e-3 at eta = 6, varying only
+slightly with offered load.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_fig15
+
+
+def test_bench_fig15(benchmark, shared_runs):
+    result = benchmark.pedantic(
+        lambda: exp_fig15.run(shared_runs), rounds=1, iterations=1
+    )
+    assert_and_report(result)

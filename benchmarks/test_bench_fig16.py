@@ -1,0 +1,17 @@
+"""Benchmark regenerating paper Fig. 16 (PP-ARQ retransmission sizes).
+
+Paper: median partial retransmission is roughly half the 250-byte
+packet; PP-ARQ roughly halves total retransmission cost vs whole-packet
+ARQ (Table 1).
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_fig16
+
+
+def test_bench_fig16(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_fig16.run(), rounds=1, iterations=1
+    )
+    assert_and_report(result)

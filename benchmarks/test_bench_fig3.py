@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Fig. 3 (Hamming distance CDFs).
+
+Paper: >=96% of correct codewords at distance <= 1; only ~10% of
+incorrect codewords at distance <= 6.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_fig3
+
+
+def test_bench_fig3(benchmark, shared_runs):
+    result = benchmark.pedantic(
+        lambda: exp_fig3.run(shared_runs), rounds=1, iterations=1
+    )
+    assert_and_report(result)

@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Fig. 8 (delivery CDF, carrier sense on).
+
+Paper: postamble decoding roughly doubles median frame delivery;
+PPR > fragmented CRC > packet CRC at 3.5 Kbit/s/node.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_delivery
+
+
+def test_bench_fig8(benchmark, shared_runs):
+    result = benchmark.pedantic(
+        lambda: exp_delivery.run_fig8(shared_runs), rounds=1, iterations=1
+    )
+    assert_and_report(result)

@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Fig. 9 (delivery CDF, carrier sense off).
+
+Paper: packet CRC becomes very poor without carrier sense; PPR and
+fragmented CRC remain roughly unchanged.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_delivery
+
+
+def test_bench_fig9(benchmark, shared_runs):
+    result = benchmark.pedantic(
+        lambda: exp_delivery.run_fig9(shared_runs), rounds=1, iterations=1
+    )
+    assert_and_report(result)

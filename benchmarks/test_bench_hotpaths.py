@@ -1,0 +1,86 @@
+"""Microbenchmarks of the library's hot paths.
+
+These measure the kernels every experiment leans on: vectorised
+nearest-codeword decoding, the chip channel, the PP-ARQ dynamic
+program, and feedback encoding.  Regressions here multiply directly
+into experiment wall-clock time.
+"""
+
+import numpy as np
+
+from repro.arq.chunking import plan_chunks
+from repro.arq.feedback import (
+    FeedbackPacket,
+    decode_feedback,
+    encode_feedback,
+    gaps_for_segments,
+)
+from repro.arq.runlength import RunLengthPacket
+from repro.phy.chipchannel import transmit_chipwords
+from repro.phy.codebook import ZigbeeCodebook
+from repro.phy.modulation import MskModulator
+
+
+def test_bench_decode_hard_throughput(benchmark):
+    """Nearest-codeword decode of 10k codewords (the per-reception cost)."""
+    codebook = ZigbeeCodebook()
+    rng = np.random.default_rng(0)
+    words = codebook.encode_words(rng.integers(0, 16, 10_000))
+    received = transmit_chipwords(words, 0.1, rng)
+    symbols, hints = benchmark(codebook.decode_hard, received)
+    assert symbols.size == 10_000
+    assert hints.mean() > 0
+
+
+def test_bench_chip_channel(benchmark):
+    """BSC transit of 10k codewords with per-symbol probabilities."""
+    codebook = ZigbeeCodebook()
+    rng = np.random.default_rng(1)
+    words = codebook.encode_words(rng.integers(0, 16, 10_000))
+    p = rng.uniform(0.0, 0.3, 10_000)
+
+    received = benchmark(
+        lambda: transmit_chipwords(words, p, np.random.default_rng(2))
+    )
+    assert received.size == 10_000
+
+
+def test_bench_chunking_dp(benchmark):
+    """The O(L^3) DP on a packet with 40 bad runs."""
+    rng = np.random.default_rng(3)
+    mask = np.ones(3000, dtype=bool)
+    starts = np.sort(rng.choice(2900, size=40, replace=False))
+    for s in starts:
+        mask[s : s + int(rng.integers(1, 8))] = False
+    runs = RunLengthPacket.from_labels(mask)
+    plan = benchmark(plan_chunks, runs)
+    assert plan.n_requested_symbols >= (~mask).sum()
+
+
+def test_bench_feedback_roundtrip(benchmark):
+    """Encode + decode of a 12-segment feedback packet."""
+    n_symbols = 3000
+    segments = tuple((i * 200, i * 200 + 40) for i in range(12))
+    gaps = gaps_for_segments(segments, n_symbols)
+    packet = FeedbackPacket(
+        seq=1,
+        n_symbols=n_symbols,
+        segments=segments,
+        gap_checksums=tuple(7 for _ in gaps),
+    )
+
+    def roundtrip():
+        return decode_feedback(encode_feedback(packet))
+
+    decoded = benchmark(roundtrip)
+    assert decoded.segments == segments
+
+
+def test_bench_msk_modulation(benchmark):
+    """Waveform synthesis of a 100-symbol frame at 4 samples/chip."""
+    codebook = ZigbeeCodebook()
+    rng = np.random.default_rng(4)
+    symbols = rng.integers(0, 16, 100)
+    modulator = MskModulator(sps=4)
+    wave = benchmark(modulator.modulate_symbols, symbols, codebook)
+    assert wave.size > 0

@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Table 1 (headline summary).
+
+Paper: PPR/fragmented CRC improve per-link throughput >7x under high
+load and ~2x under moderate load; PP-ARQ cuts retransmission cost ~50%.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_table1
+
+
+def test_bench_table1(benchmark, shared_runs):
+    result = benchmark.pedantic(
+        lambda: exp_table1.run(shared_runs), rounds=1, iterations=1
+    )
+    assert_and_report(result)

@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Table 2 (fragmented-CRC chunk sweep).
+
+Paper shape: aggregate throughput peaks at an intermediate chunk count
+(26 / 85 / 96 / 80 / 15 Kbit/s at 1 / 10 / 30 / 100 / 300 chunks).
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import exp_table2
+
+
+def test_bench_table2(benchmark, shared_runs):
+    result = benchmark.pedantic(
+        lambda: exp_table2.run(shared_runs), rounds=1, iterations=1
+    )
+    assert_and_report(result)

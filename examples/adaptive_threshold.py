@@ -1,0 +1,78 @@
+"""Learning the SoftPHY threshold online (paper §3.3).
+
+The PHY only promises *monotonicity* — lower hint means higher
+confidence — so the link layer must learn where to draw the good/bad
+line.  This example runs a receiver through three channel regimes
+(clean, collision-dominated, noise-dominated) and shows the
+:class:`~repro.link.adaptive.AdaptiveThreshold` tracking the right
+threshold from verified feedback alone, without ever interpreting hint
+semantics.
+
+Run:  python examples/adaptive_threshold.py
+"""
+
+import numpy as np
+
+from repro import ZigbeeCodebook
+from repro.link.adaptive import AdaptiveThreshold
+from repro.phy.chipchannel import transmit_chipwords
+
+
+def run_regime(name, adapt, codebook, rng, base_p, burst_p, n_packets=40):
+    """Push packets through one channel regime and report the learner."""
+    for _ in range(n_packets):
+        symbols = rng.integers(0, 16, 250)
+        p = np.full(250, base_p)
+        if burst_p > 0:
+            start = rng.integers(0, 180)
+            p[start : start + 60] = burst_p
+        received = transmit_chipwords(
+            codebook.encode_words(symbols), p, rng
+        )
+        decoded, hints = codebook.decode_hard(received)
+        # In deployment, correctness arrives post-hoc from PP-ARQ's
+        # per-run CRC verification; the simulation knows it directly.
+        adapt.observe(hints, decoded == symbols)
+    eta = adapt.best_threshold()
+    print(
+        f"{name:28s} learned eta = {eta:2d}   "
+        f"miss rate = {adapt.miss_rate(eta):.4f}   "
+        f"false alarms = {adapt.false_alarm_rate(eta):.4f}"
+    )
+    return eta
+
+
+def main() -> None:
+    codebook = ZigbeeCodebook()
+    rng = np.random.default_rng(33)
+
+    print("regime                        learned threshold and rates")
+    print("-" * 72)
+
+    # Fresh learner per regime to show what each channel implies.
+    clean = AdaptiveThreshold()
+    run_regime("clean channel", clean, codebook, rng, 0.002, 0.0)
+
+    collisions = AdaptiveThreshold()
+    run_regime(
+        "collision-dominated", collisions, codebook, rng, 0.002, 0.45
+    )
+
+    noisy = AdaptiveThreshold()
+    run_regime("noise-dominated (marginal)", noisy, codebook, rng, 0.12, 0.0)
+
+    # One learner across all three regimes: the long-run compromise.
+    mixed = AdaptiveThreshold()
+    for base_p, burst_p in ((0.002, 0.0), (0.002, 0.45), (0.12, 0.0)):
+        run_regime("  (mixed-traffic learner)", mixed, codebook, rng,
+                   base_p, burst_p, n_packets=20)
+
+    print(
+        "\nThe paper's fixed eta = 6 sits inside the range the learner "
+        "picks across regimes,\nwhich is why a single threshold worked "
+        "for their testbed (cf. §3.2, §7.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Opportunistic partial forwarding through lossy relays (§2, §8.4).
+
+A source's frame reaches two relays over collision-prone links; each
+relay forwards *only the symbols its SoftPHY hints trust* — the paper's
+"forward only the bits likely to be correct" idea — and the destination
+merges the partial forwards, leaving any uncovered positions for
+PP-ARQ to recover in the background.
+
+The comparison baseline is classic packet-level relaying, where a relay
+must receive the whole packet intact before it can forward anything.
+
+Run:  python examples/opportunistic_relay.py
+"""
+
+import numpy as np
+
+from repro import ZigbeeCodebook
+from repro.link.relay import combine_forwards, make_partial_forward
+from repro.phy.chipchannel import transmit_chipwords
+from repro.phy.symbols import SoftPacket
+
+ETA = 6.0
+FRAME_SYMBOLS = 600
+
+
+def lossy_hop(codebook, truth, rng, burst_frac):
+    """One relay's reception: a collision burst over part of the frame."""
+    p = np.full(truth.size, 0.003)
+    burst_len = int(burst_frac * truth.size)
+    start = int(rng.integers(0, truth.size - burst_len))
+    p[start : start + burst_len] = 0.45
+    received = transmit_chipwords(codebook.encode_words(truth), p, rng)
+    decoded, dist = codebook.decode_hard(received)
+    return SoftPacket(
+        symbols=decoded, hints=dist.astype(float), truth=truth
+    )
+
+
+def main() -> None:
+    codebook = ZigbeeCodebook()
+    rng = np.random.default_rng(17)
+
+    n_trials = 50
+    pkt_relay_success = 0
+    partial_coverage = []
+    partial_correct = []
+    airtime_saved = []
+
+    for _ in range(n_trials):
+        truth = rng.integers(0, 16, FRAME_SYMBOLS)
+        rx1 = lossy_hop(codebook, truth, rng, burst_frac=0.3)
+        rx2 = lossy_hop(codebook, truth, rng, burst_frac=0.3)
+
+        # Baseline: a packet-level relay forwards only intact packets.
+        if rx1.correct_mask().all() or rx2.correct_mask().all():
+            pkt_relay_success += 1
+
+        # PPR relays: forward the trusted symbols only.
+        f1 = make_partial_forward(rx1, ETA)
+        f2 = make_partial_forward(rx2, ETA)
+        combined = combine_forwards([f1, f2])
+        partial_coverage.append(combined.coverage)
+        covered = combined.covered
+        if covered.any():
+            partial_correct.append(
+                float((combined.symbols[covered] == truth[covered]).mean())
+            )
+        airtime_saved.append(
+            1.0
+            - (f1.airtime_symbols + f2.airtime_symbols)
+            / (2 * FRAME_SYMBOLS)
+        )
+
+    print(f"{n_trials} frames through two lossy relays "
+          f"(30% collision burst each):\n")
+    print("packet-level relaying (status quo):")
+    print(f"  frames any relay could forward intact : "
+          f"{pkt_relay_success}/{n_trials}")
+    print("\nSoftPHY partial forwarding (PPR):")
+    print(f"  mean destination coverage             : "
+          f"{np.mean(partial_coverage):.1%}")
+    print(f"  correctness of covered symbols        : "
+          f"{np.mean(partial_correct):.2%}")
+    print(f"  relay airtime saved vs full copies    : "
+          f"{np.mean(airtime_saved):.1%}")
+    print(
+        "\nUncovered positions would be fetched by PP-ARQ 'in the "
+        "background'\nwhile the routing layer keeps forwarding good "
+        "bits (paper §8.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

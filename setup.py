@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 wheel support.
+
+``pip install -e .`` in this offline environment lacks the ``wheel``
+package, so ``python setup.py develop`` (or the .pth fallback) is the
+supported editable-install path.  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

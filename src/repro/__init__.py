@@ -1,0 +1,98 @@
+"""PPR: Partial Packet Recovery for Wireless Networks — reproduction.
+
+A full Python implementation of Jamieson & Balakrishnan's PPR system
+(SIGCOMM 2007 / MIT-CSAIL-TR-2007-008): the SoftPHY confidence-hint
+interface, postamble decoding with rollback, and the PP-ARQ partial
+retransmission protocol — together with every substrate the paper's
+evaluation depends on (an 802.15.4 DSSS PHY at chip and waveform
+fidelity, a CSMA link layer, and a discrete-event radio-network
+simulator standing in for the 27-node testbed).
+
+Quick start::
+
+    import numpy as np
+    from repro import ZigbeeCodebook
+    from repro.phy.chipchannel import transmit_chipwords
+
+    codebook = ZigbeeCodebook()
+    symbols = np.arange(16)
+    received = transmit_chipwords(codebook.encode_words(symbols), 0.1, 0)
+    decoded, hints = codebook.decode_hard(received)
+    # `hints` are the SoftPHY Hamming-distance hints of the paper.
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.arq import (
+    FullPacketArqSession,
+    PpArqReceiver,
+    PpArqSender,
+    PpArqSession,
+    RunLengthPacket,
+    plan_chunks,
+)
+from repro.link import (
+    AdaptiveThreshold,
+    FragmentedCrcScheme,
+    FrameHeader,
+    PacketCrcScheme,
+    PprFrame,
+    PprScheme,
+    ReceivedPayload,
+)
+from repro.phy import (
+    Codebook,
+    HardDecisionDecoder,
+    MskDemodulator,
+    MskModulator,
+    ReceiverFrontend,
+    RollbackBuffer,
+    SoftDecisionDecoder,
+    SoftPacket,
+    SoftSymbol,
+    ZigbeeCodebook,
+)
+from repro.sim import (
+    NetworkSimulation,
+    RadioMedium,
+    SimulationConfig,
+    TestbedConfig,
+    evaluate_schemes,
+    paper_testbed,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FullPacketArqSession",
+    "PpArqReceiver",
+    "PpArqSender",
+    "PpArqSession",
+    "RunLengthPacket",
+    "plan_chunks",
+    "AdaptiveThreshold",
+    "FragmentedCrcScheme",
+    "FrameHeader",
+    "PacketCrcScheme",
+    "PprFrame",
+    "PprScheme",
+    "ReceivedPayload",
+    "Codebook",
+    "HardDecisionDecoder",
+    "MskDemodulator",
+    "MskModulator",
+    "ReceiverFrontend",
+    "RollbackBuffer",
+    "SoftDecisionDecoder",
+    "SoftPacket",
+    "SoftSymbol",
+    "ZigbeeCodebook",
+    "NetworkSimulation",
+    "RadioMedium",
+    "SimulationConfig",
+    "TestbedConfig",
+    "evaluate_schemes",
+    "paper_testbed",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Analysis utilities: distributions, run statistics, text rendering.
+
+Everything the experiment harness needs to turn raw simulation output
+into the paper's CDFs, CCDFs, scatter plots and tables — rendered as
+ASCII for terminal inspection and as CSV-ready series for plotting.
+"""
+
+from repro.analysis.stats import (
+    Cdf,
+    ccdf_points,
+    cdf_points,
+    geometric_mean,
+    median,
+    percentile,
+)
+from repro.analysis.runs import run_lengths, longest_run, run_length_histogram
+from repro.analysis.textplot import (
+    format_table,
+    render_cdf,
+    render_scatter,
+    render_series,
+)
+
+__all__ = [
+    "Cdf",
+    "ccdf_points",
+    "cdf_points",
+    "geometric_mean",
+    "median",
+    "percentile",
+    "run_lengths",
+    "longest_run",
+    "run_length_histogram",
+    "format_table",
+    "render_cdf",
+    "render_scatter",
+    "render_series",
+]

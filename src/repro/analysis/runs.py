@@ -1,0 +1,51 @@
+"""Run statistics over boolean masks.
+
+Used by the Fig. 14 reproduction (lengths of contiguous SoftPHY misses)
+and by tests of the run-length machinery.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+
+def run_lengths(mask) -> list[int]:
+    """Lengths of maximal True runs, in order of appearance."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.size == 0 or not mask.any():
+        return []
+    padded = np.concatenate([[False], mask, [False]])
+    change = np.flatnonzero(padded[1:] != padded[:-1])
+    return [int(e - s) for s, e in zip(change[::2], change[1::2])]
+
+
+def longest_run(mask) -> int:
+    """Length of the longest True run (0 for an all-False mask)."""
+    lengths = run_lengths(mask)
+    return max(lengths) if lengths else 0
+
+
+def run_length_histogram(masks) -> Counter:
+    """Aggregate run-length counts over many masks."""
+    counts: Counter = Counter()
+    for mask in masks:
+        for length in run_lengths(mask):
+            counts[length] += 1
+    return counts
+
+
+def ccdf_from_counts(counts: Counter) -> tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF (P[L >= x]) from a length histogram.
+
+    Matches the paper's Fig. 14 axes: x = run length, y = fraction of
+    runs at least that long.
+    """
+    if not counts:
+        raise ValueError("no runs observed")
+    lengths = np.array(sorted(counts), dtype=np.int64)
+    freqs = np.array([counts[int(l)] for l in lengths], dtype=np.float64)
+    total = freqs.sum()
+    tail = np.cumsum(freqs[::-1])[::-1] / total
+    return lengths, tail

@@ -1,0 +1,106 @@
+"""Distribution helpers: CDFs, CCDFs, and robust summaries.
+
+The paper reports nearly every result as a per-link CDF (Figs. 8-11,
+16) or a CCDF on log axes (Figs. 14, 15); :class:`Cdf` is the common
+currency the experiment harness passes around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical distribution with convenience accessors."""
+
+    samples: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.sort(np.asarray(self.samples, dtype=np.float64))
+        if arr.size == 0:
+            raise ValueError("a CDF needs at least one sample")
+        object.__setattr__(self, "samples", arr)
+
+    @property
+    def n(self) -> int:
+        """Number of samples."""
+        return int(self.samples.size)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self.samples, x, side="right") / self.n)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1)."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        return float(np.quantile(self.samples, q))
+
+    def median(self) -> float:
+        """The distribution median."""
+        return self.quantile(0.5)
+
+    def mean(self) -> float:
+        """The sample mean."""
+        return float(self.samples.mean())
+
+    def points(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) step points for plotting."""
+        return cdf_points(self.samples)
+
+    def ccdf_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x, 1 - F(x)) points for log-scale tail plots."""
+        return ccdf_points(self.samples)
+
+
+def cdf_points(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF evaluation points: (sorted x, cumulative fraction)."""
+    xs = np.sort(np.asarray(samples, dtype=np.float64))
+    if xs.size == 0:
+        raise ValueError("need at least one sample")
+    ys = np.arange(1, xs.size + 1) / xs.size
+    return xs, ys
+
+
+def ccdf_points(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF points: (sorted x, fraction strictly above x)."""
+    xs, ys = cdf_points(samples)
+    return xs, 1.0 - ys + 1.0 / xs.size
+
+
+def median(samples) -> float:
+    """Median of a sequence (errors on empty input)."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("median of empty sequence")
+    return float(np.median(arr))
+
+
+def percentile(samples, q: float) -> float:
+    """The q-th percentile (q in [0, 100])."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+def geometric_mean(samples, epsilon: float = 0.0) -> float:
+    """Geometric mean, optionally offset so zeros don't collapse it.
+
+    Used for summarising per-link throughput ratios, which span orders
+    of magnitude (paper Fig. 12's log-log axes).
+    """
+    arr = np.asarray(list(samples), dtype=np.float64) + epsilon
+    if arr.size == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError(
+            "geometric mean requires positive values "
+            "(pass epsilon to offset zeros)"
+        )
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,187 @@
+"""ASCII rendering of the paper's plot types.
+
+The benchmark harness prints every reproduced figure as text so results
+are inspectable in a terminal and diffable in CI; the same series are
+exposed as numeric arrays for anyone who wants matplotlib.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def render_cdf(
+    series: dict[str, np.ndarray],
+    width: int = 60,
+    height: int = 16,
+    xlabel: str = "value",
+    xmax: float | None = None,
+) -> str:
+    """Render one or more empirical CDFs as an ASCII plot.
+
+    ``series`` maps a label to its raw samples.  Each curve gets a
+    distinct marker; the legend maps markers back to labels.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "ox+*#@%&"
+    all_samples = np.concatenate(
+        [np.asarray(s, dtype=np.float64) for s in series.values()]
+    )
+    if xmax is None:
+        xmax = float(all_samples.max())
+    xmax = max(xmax, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, samples) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        xs = np.sort(np.asarray(samples, dtype=np.float64))
+        ys = np.arange(1, xs.size + 1) / xs.size
+        for x, y in zip(xs, ys):
+            col = min(width - 1, int(x / xmax * (width - 1)))
+            row = min(height - 1, int((1.0 - y) * (height - 1)))
+            grid[row][col] = marker
+    lines = ["1.0 |" + "".join(row) for row in grid[:1]]
+    for i, row in enumerate(grid[1:], start=1):
+        frac = 1.0 - i / (height - 1)
+        prefix = f"{frac:3.1f} |" if i % 4 == 0 else "    |"
+        lines.append(prefix + "".join(row))
+    lines.append("    +" + "-" * width)
+    lines.append(f"    0{' ' * (width - 12)}{xmax:.3g}  ({xlabel})")
+    for idx, label in enumerate(series):
+        lines.append(f"    {markers[idx % len(markers)]} = {label}")
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: np.ndarray,
+    ys_by_label: dict[str, np.ndarray],
+    width: int = 60,
+    height: int = 14,
+    logy: bool = False,
+    xlabel: str = "x",
+) -> str:
+    """Render y(x) curves (e.g. CCDF tails) as ASCII."""
+    if not ys_by_label:
+        raise ValueError("need at least one series")
+    xs = np.asarray(xs, dtype=np.float64)
+    markers = "ox+*#@%&"
+    ymin, ymax = np.inf, -np.inf
+    transformed = {}
+    for label, ys in ys_by_label.items():
+        ys = np.asarray(ys, dtype=np.float64)
+        if logy:
+            ys = np.where(ys > 0, ys, np.nan)
+            ys = np.log10(ys)
+        transformed[label] = ys
+        finite = ys[np.isfinite(ys)]
+        if finite.size:
+            ymin = min(ymin, finite.min())
+            ymax = max(ymax, finite.max())
+    if not np.isfinite(ymin):
+        raise ValueError("no finite y values to plot")
+    span = max(ymax - ymin, 1e-12)
+    xmax = max(float(xs.max()), 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, ys) in enumerate(transformed.items()):
+        marker = markers[idx % len(markers)]
+        for x, y in zip(xs, ys):
+            if not np.isfinite(y):
+                continue
+            col = min(width - 1, int(x / xmax * (width - 1)))
+            row = min(height - 1, int((ymax - y) / span * (height - 1)))
+            grid[row][col] = marker
+    top = f"{10**ymax:.1e}" if logy else f"{ymax:.3g}"
+    bot = f"{10**ymin:.1e}" if logy else f"{ymin:.3g}"
+    lines = [f"{top:>8} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("         |" + "".join(row))
+    lines.append(f"{bot:>8} |" + "".join(grid[-1]))
+    lines.append("         +" + "-" * width)
+    lines.append(f"         0{' ' * (width - 12)}{xmax:.3g}  ({xlabel})")
+    for idx, label in enumerate(ys_by_label):
+        lines.append(f"         {markers[idx % len(markers)]} = {label}")
+    return "\n".join(lines)
+
+
+def render_scatter(
+    points_by_label: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 60,
+    height: int = 20,
+    loglog: bool = True,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    floor: float = 1e-2,
+) -> str:
+    """Render scatter points (e.g. Fig. 12's throughput comparison)."""
+    if not points_by_label:
+        raise ValueError("need at least one series")
+    markers = "ox+*#@%&"
+
+    def _tx(v: np.ndarray) -> np.ndarray:
+        v = np.maximum(np.asarray(v, dtype=np.float64), floor)
+        return np.log10(v) if loglog else v
+
+    all_x = np.concatenate(
+        [_tx(p[0]) for p in points_by_label.values()]
+    )
+    all_y = np.concatenate(
+        [_tx(p[1]) for p in points_by_label.values()]
+    )
+    xmin, xmax = all_x.min(), max(all_x.max(), all_x.min() + 1e-9)
+    ymin, ymax = all_y.min(), max(all_y.max(), all_y.min() + 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    # The y = x diagonal, the reference line of Fig. 12.
+    for col in range(width):
+        x = xmin + col / (width - 1) * (xmax - xmin)
+        if ymin <= x <= ymax:
+            row = int((ymax - x) / (ymax - ymin) * (height - 1))
+            grid[row][col] = "."
+    for idx, (label, (px, py)) in enumerate(points_by_label.items()):
+        marker = markers[idx % len(markers)]
+        for x, y in zip(_tx(px), _tx(py)):
+            col = min(width - 1, int((x - xmin) / (xmax - xmin) * (width - 1)))
+            row = min(
+                height - 1, int((ymax - y) / (ymax - ymin) * (height - 1))
+            )
+            grid[row][col] = marker
+    fmt = (lambda v: f"{10**v:.2g}") if loglog else (lambda v: f"{v:.3g}")
+    lines = [f"{fmt(ymax):>8} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("         |" + "".join(row))
+    lines.append(f"{fmt(ymin):>8} |" + "".join(grid[-1]))
+    lines.append("         +" + "-" * width)
+    lines.append(
+        f"         {fmt(xmin)}{' ' * (width - 16)}{fmt(xmax)}  ({xlabel})"
+    )
+    lines.append(f"         y-axis: {ylabel}; '.' marks y = x")
+    for idx, label in enumerate(points_by_label):
+        lines.append(f"         {markers[idx % len(markers)]} = {label}")
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: list[str], rows: list[list], title: str = ""
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [
+                f"{v:.4g}" if isinstance(v, float) else str(v)
+                for v in row
+            ]
+        )
+    widths = [
+        max(len(row[i]) for row in cells) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(
+            " | ".join(c.rjust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)

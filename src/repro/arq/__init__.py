@@ -1,0 +1,50 @@
+"""PP-ARQ: partial-packet retransmission (paper §5).
+
+Pipeline: SoftPHY hints -> good/bad run-length representation (Eq. 2)
+-> dynamic-programming chunk selection (Eqs. 4-5) -> bit-exact feedback
+encoding -> sender retransmission of requested segments with CRCs of
+the rest -> receiver patching and verification.  A whole-packet
+stop-and-wait baseline lives in :mod:`repro.arq.fullarq`.
+"""
+
+from repro.arq.runlength import Run, RunLengthPacket
+from repro.arq.chunking import ChunkPlan, chunk_cost_naive, plan_chunks
+from repro.arq.feedback import (
+    FeedbackPacket,
+    RetransmissionPacket,
+    SegmentData,
+    decode_feedback,
+    decode_retransmission,
+    encode_feedback,
+    encode_retransmission,
+)
+from repro.arq.protocol import (
+    PpArqReceiver,
+    PpArqSender,
+    PpArqSession,
+    TransferLog,
+)
+from repro.arq.fullarq import FullPacketArqSession
+from repro.arq.streaming import StreamingLog, StreamingPpArqSession
+
+__all__ = [
+    "StreamingLog",
+    "StreamingPpArqSession",
+    "Run",
+    "RunLengthPacket",
+    "ChunkPlan",
+    "chunk_cost_naive",
+    "plan_chunks",
+    "FeedbackPacket",
+    "RetransmissionPacket",
+    "SegmentData",
+    "decode_feedback",
+    "decode_retransmission",
+    "encode_feedback",
+    "encode_retransmission",
+    "PpArqReceiver",
+    "PpArqSender",
+    "PpArqSession",
+    "TransferLog",
+    "FullPacketArqSession",
+]

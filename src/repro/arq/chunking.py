@@ -1,0 +1,171 @@
+"""The PP-ARQ chunk-selection dynamic program (paper §5.1, Eqs. 4-5).
+
+The receiver must pick *chunks* — groups of consecutive bad runs
+(including the good runs between them) — to request for retransmission,
+trading feedback-description bits against needlessly retransmitted good
+symbols.  The paper's cost model::
+
+    C(c_ii)  = log S + log λb_i + min(λg_i, λ_C)                  (Eq. 4)
+    C(c_ij)  = min( 2 log S + Σ_{l=i}^{j-1} λg_l ,
+                    min_{i<=k<j} C(c_ik) + C(c_{k+1,j}) )         (Eq. 5)
+
+with S the packet length in symbols and λ_C the checksum length.  The
+problem has optimal substructure; we memoise over (i, j) intervals,
+O(L^2) states with O(L) transitions — the O(L^3) bottom-up table the
+paper describes.
+
+Costs use real-valued log2 exactly as written (they are a *model* of
+feedback size; the concrete encoder in :mod:`repro.arq.feedback`
+reports its true bit count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arq.runlength import RunLengthPacket
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """Output of the DP: which chunks to request.
+
+    ``chunks`` lists (i, j) pairs of 0-based bad-run indices, each
+    denoting chunk c_{i,j}; ``segments`` gives the corresponding symbol
+    ranges [start, end); ``cost_bits`` is the Eq. 4/5 model cost of the
+    whole plan.
+    """
+
+    chunks: tuple[tuple[int, int], ...]
+    segments: tuple[tuple[int, int], ...]
+    cost_bits: float
+
+    @property
+    def n_requested_symbols(self) -> int:
+        """Symbols the plan asks the sender to retransmit."""
+        return sum(end - start for start, end in self.segments)
+
+
+def _log2(value: float) -> float:
+    if value <= 0:
+        raise ValueError(f"log2 argument must be positive, got {value}")
+    return math.log2(value)
+
+
+def plan_chunks(
+    runs: RunLengthPacket,
+    checksum_bits: int = 32,
+) -> ChunkPlan:
+    """Run the Eq. 4/5 DP and return the optimal chunking.
+
+    Parameters
+    ----------
+    runs:
+        The packet's run-length representation.
+    checksum_bits:
+        λ_C, the checksum length in bits, measured against good-run
+        lengths in *symbols worth of bits* — we convert good-run symbol
+        counts to bits (4 bits/symbol) before comparing, since both
+        terms of min(λg, λ_C) are feedback payload sizes.
+    """
+    if checksum_bits <= 0:
+        raise ValueError(
+            f"checksum_bits must be positive, got {checksum_bits}"
+        )
+    if runs.all_good:
+        return ChunkPlan(chunks=(), segments=(), cost_bits=0.0)
+
+    n_runs = runs.n_bad_runs
+    log_s = _log2(max(runs.n_symbols, 2))
+    bits_per_symbol = 4
+    good_bits = [g * bits_per_symbol for g in runs.good]
+    bad = runs.bad
+
+    # memo[(i, j)] = (cost, split) where split is None for "keep as one
+    # chunk" or k for "split into c_{i,k} + c_{k+1,j}".
+    memo: dict[tuple[int, int], tuple[float, int | None]] = {}
+
+    # Base cases (Eq. 4).
+    for i in range(n_runs):
+        cost = (
+            log_s
+            + _log2(max(bad[i], 2))
+            + min(good_bits[i], checksum_bits)
+        )
+        memo[(i, i)] = (cost, None)
+
+    # Bottom-up over interval lengths (Eq. 5).
+    for span in range(2, n_runs + 1):
+        for i in range(n_runs - span + 1):
+            j = i + span - 1
+            # Keep c_{i,j} whole: describe one range, resend the
+            # interior good runs.
+            whole = 2 * log_s + sum(good_bits[i:j])
+            best_cost = whole
+            best_split: int | None = None
+            for k in range(i, j):
+                cost = memo[(i, k)][0] + memo[(k + 1, j)][0]
+                if cost < best_cost:
+                    best_cost = cost
+                    best_split = k
+            memo[(i, j)] = (best_cost, best_split)
+
+    # Reconstruct the partition of [0, L) into chunks.
+    chunks: list[tuple[int, int]] = []
+
+    def _reconstruct(i: int, j: int) -> None:
+        _, split = memo[(i, j)]
+        if split is None:
+            chunks.append((i, j))
+        else:
+            _reconstruct(i, split)
+            _reconstruct(split + 1, j)
+
+    _reconstruct(0, n_runs - 1)
+    chunks.sort()
+    segments = tuple(runs.chunk_span(i, j) for i, j in chunks)
+    return ChunkPlan(
+        chunks=tuple(chunks),
+        segments=segments,
+        cost_bits=memo[(0, n_runs - 1)][0],
+    )
+
+
+def chunk_cost_naive(runs: RunLengthPacket, checksum_bits: int = 32) -> float:
+    """Cost of the naive per-bad-run feedback (no merging).
+
+    This is the "send back the bit ranges of each chunk believed to be
+    wrong" strawman of §5: every bad run becomes its own chunk.  Useful
+    as the comparison baseline for the DP's savings.
+    """
+    if runs.all_good:
+        return 0.0
+    log_s = _log2(max(runs.n_symbols, 2))
+    bits_per_symbol = 4
+    total = 0.0
+    for b, g in zip(runs.bad, runs.good):
+        total += (
+            log_s
+            + _log2(max(b, 2))
+            + min(g * bits_per_symbol, checksum_bits)
+        )
+    return total
+
+
+def merged_single_chunk_cost(
+    runs: RunLengthPacket, checksum_bits: int = 32
+) -> float:
+    """Cost of requesting one chunk spanning every bad run.
+
+    The other extreme from :func:`chunk_cost_naive`; the DP should
+    never do worse than the better of the two.
+    """
+    if runs.all_good:
+        return 0.0
+    if runs.n_bad_runs == 1:
+        return plan_chunks(runs, checksum_bits).cost_bits
+    log_s = _log2(max(runs.n_symbols, 2))
+    bits_per_symbol = 4
+    interior_good = sum(runs.good[:-1]) * bits_per_symbol
+    return 2 * log_s + interior_good

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment is deterministic (explicit seeds), returns a result
+object carrying the measured series plus the paper's expectation, and
+renders itself as text.  ``python -m repro.experiments.runner --all``
+regenerates everything; the pytest benchmarks call the same entry
+points and assert the *shape* checks (who wins, by roughly what factor,
+where crossovers fall).
+"""
+
+from repro.experiments.common import (
+    CapacityRuns,
+    ExperimentResult,
+    LOAD_HEAVY,
+    LOAD_MEDIUM,
+    LOAD_MODERATE,
+    ShapeCheck,
+    default_runs,
+)
+
+__all__ = [
+    "CapacityRuns",
+    "ExperimentResult",
+    "LOAD_HEAVY",
+    "LOAD_MEDIUM",
+    "LOAD_MODERATE",
+    "ShapeCheck",
+    "default_runs",
+]

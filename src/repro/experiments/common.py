@@ -1,0 +1,137 @@
+"""Shared experiment infrastructure: loads, seeds, cached runs.
+
+The paper's capacity experiments reuse the same testbed traffic at
+three offered loads (3.5, 6.9, 13.8 Kbit/s/node) with carrier sense on
+or off.  :class:`CapacityRuns` runs each (load, carrier-sense) point
+once and caches the result so every figure drawing on the same traces
+shares them — exactly how the paper post-processes one set of traces
+per condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.link.schemes import (
+    DeliveryScheme,
+    FragmentedCrcScheme,
+    PacketCrcScheme,
+    PprScheme,
+)
+from repro.sim.network import (
+    NetworkSimulation,
+    SimulationConfig,
+    SimulationResult,
+)
+
+LOAD_MODERATE = 3500.0
+LOAD_MEDIUM = 6900.0
+LOAD_HEAVY = 13800.0
+
+DEFAULT_ETA = 6.0
+DEFAULT_FRAGMENTS = 30
+DEFAULT_PAYLOAD_BYTES = 1500
+DEFAULT_DURATION_S = 40.0
+DEFAULT_SEED = 2007  # year of publication
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One verifiable claim about the reproduced result's shape."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{status}] {self.name}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """Common wrapper every experiment returns."""
+
+    experiment_id: str
+    title: str
+    paper_expectation: str
+    rendered: str
+    shape_checks: list[ShapeCheck] = field(default_factory=list)
+    series: dict = field(default_factory=dict)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every shape check held."""
+        return all(c.passed for c in self.shape_checks)
+
+    def summary(self) -> str:
+        """Render the full experiment report."""
+        lines = [
+            f"=== {self.experiment_id}: {self.title} ===",
+            f"Paper: {self.paper_expectation}",
+            "",
+            self.rendered,
+            "",
+        ]
+        lines.extend(str(c) for c in self.shape_checks)
+        return "\n".join(lines)
+
+
+class CapacityRuns:
+    """Cache of testbed simulation runs keyed by (load, carrier sense)."""
+
+    def __init__(
+        self,
+        duration_s: float = DEFAULT_DURATION_S,
+        seed: int = DEFAULT_SEED,
+        payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+    ) -> None:
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        self.duration_s = float(duration_s)
+        self.seed = int(seed)
+        self.payload_bytes = int(payload_bytes)
+        self._cache: dict[tuple[float, bool], SimulationResult] = {}
+
+    def get(
+        self, load_bps: float, carrier_sense: bool
+    ) -> SimulationResult:
+        """The cached run for a load point, simulating on first use."""
+        key = (float(load_bps), bool(carrier_sense))
+        if key not in self._cache:
+            config = SimulationConfig(
+                load_bits_per_s_per_node=load_bps,
+                payload_bytes=self.payload_bytes,
+                duration_s=self.duration_s,
+                carrier_sense=carrier_sense,
+                seed=self.seed,
+            )
+            self._cache[key] = NetworkSimulation(config).run()
+        return self._cache[key]
+
+    def clear(self) -> None:
+        """Drop all cached runs (for memory-sensitive callers)."""
+        self._cache.clear()
+
+
+_DEFAULT_RUNS: CapacityRuns | None = None
+
+
+def default_runs() -> CapacityRuns:
+    """Process-wide shared run cache used by the harness and benches."""
+    global _DEFAULT_RUNS
+    if _DEFAULT_RUNS is None:
+        _DEFAULT_RUNS = CapacityRuns()
+    return _DEFAULT_RUNS
+
+
+def paper_schemes(
+    eta: float = DEFAULT_ETA, n_fragments: int = DEFAULT_FRAGMENTS
+) -> list[DeliveryScheme]:
+    """The §7.2 contenders with the paper's parameters (η=6, 30 chunks)."""
+    return [
+        PacketCrcScheme(),
+        FragmentedCrcScheme(n_fragments=n_fragments),
+        PprScheme(eta=eta),
+    ]

@@ -1,0 +1,193 @@
+"""Figure 13: anatomy of a collision, at waveform level.
+
+Two MSK packets from different senders partially overlap at one
+receiver.  The paper shows each packet's per-codeword Hamming distance
+over time with markers for correct codewords: distance sits near zero
+on the cleanly-received runs, rises sharply across the collision burst,
+and the packet whose preamble was lost is recovered through its
+postamble.
+
+This experiment exercises the full waveform pipeline — MSK modulation,
+superposition, AWGN, preamble/postamble correlation sync, matched
+filtering, despreading — rather than the chip-level shortcut the
+network simulations use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.textplot import render_series
+from repro.experiments.common import ExperimentResult, ShapeCheck
+from repro.phy.channelsim import TransmissionInstance, awgn_collision_channel
+from repro.phy.codebook import ZigbeeCodebook
+from repro.phy.frontend import ReceiverFrontend
+from repro.phy.modulation import MskModulator
+from repro.phy.sync import sync_field_symbols
+from repro.utils.rng import derive_rng
+
+PAPER_EXPECTATION = (
+    "Hamming distance ~0 on cleanly-received codeword runs, high across "
+    "the collision burst; the packet whose preamble was lost is "
+    "recovered via its postamble"
+)
+
+
+@dataclass
+class CollisionAnatomy:
+    """Decoded view of one packet in the collision."""
+
+    name: str
+    sync_kind: str
+    hints: np.ndarray
+    correct: np.ndarray
+
+
+def run(
+    n_body_symbols: int = 120,
+    overlap_symbols: int = 45,
+    sps: int = 4,
+    noise_power: float = 0.05,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Simulate the two-packet collision and decode both sides."""
+    if overlap_symbols >= n_body_symbols:
+        raise ValueError("overlap must be shorter than the packet body")
+    codebook = ZigbeeCodebook()
+    rng = derive_rng(seed, "fig13")
+    modulator = MskModulator(sps=sps)
+    frontend = ReceiverFrontend(codebook, sps=sps)
+
+    preamble = sync_field_symbols("preamble")
+    postamble = sync_field_symbols("postamble")
+    body1 = rng.integers(0, 16, n_body_symbols)
+    body2 = rng.integers(0, 16, n_body_symbols)
+    stream1 = np.concatenate([preamble, body1, postamble])
+    stream2 = np.concatenate([preamble, body2, postamble])
+    wave1 = modulator.modulate_symbols(stream1, codebook)
+    wave2 = modulator.modulate_symbols(stream2, codebook)
+
+    # Packet 2 starts so that its preamble lands inside packet 1's tail:
+    # packet 1 loses its tail, packet 2 loses its head (and preamble).
+    chips_per_symbol = codebook.chips_per_symbol
+    offset_symbols = stream1.size - overlap_symbols
+    offset_samples = offset_symbols * chips_per_symbol * sps
+    capture = awgn_collision_channel(
+        [
+            TransmissionInstance(samples=wave1, offset=0, gain=1.0),
+            TransmissionInstance(
+                samples=wave2, offset=offset_samples, gain=1.0
+            ),
+        ],
+        noise_power=noise_power,
+        rng=derive_rng(seed, "fig13-noise"),
+    )
+
+    # Packet 1: receiver catches its preamble normally.
+    pre_dets = frontend.detect(capture, "preamble")
+    if not pre_dets:
+        raise RuntimeError("packet 1 preamble not detected")
+    det1 = pre_dets[0]
+    sym1, hints1 = frontend.decode_symbols_at(
+        capture,
+        det1.sample_offset,
+        symbol_offset=preamble.size,
+        n_symbols=n_body_symbols,
+        phase=det1.phase,
+    )
+
+    # Packet 2: preamble collided; find its postamble and roll back.
+    post_dets = frontend.detect(capture, "postamble")
+    det2 = max(post_dets, key=lambda d: d.sample_offset)
+    sym2, hints2 = frontend.decode_symbols_at(
+        capture,
+        det2.sample_offset,
+        symbol_offset=-n_body_symbols,
+        n_symbols=n_body_symbols,
+        phase=det2.phase,
+    )
+
+    packet1 = CollisionAnatomy(
+        name="first packet (preamble sync)",
+        sync_kind="preamble",
+        hints=hints1,
+        correct=sym1 == body1,
+    )
+    packet2 = CollisionAnatomy(
+        name="second packet (postamble rollback)",
+        sync_kind="postamble",
+        hints=hints2,
+        correct=sym2 == body2,
+    )
+
+    xs = np.arange(n_body_symbols)
+    rendered = render_series(
+        xs,
+        {
+            "packet 1 Hamming distance": packet1.hints,
+            "packet 2 Hamming distance": packet2.hints,
+        },
+        xlabel="time (codeword number)",
+    )
+
+    # Shape checks: clean regions decode with low hints, the overlapped
+    # regions show high hints, and hints track correctness.
+    clean1 = packet1.hints[: n_body_symbols - overlap_symbols]
+    dirty1 = packet1.hints[n_body_symbols - overlap_symbols :]
+    # Packet 2's head: overlap minus its sync field (which also collided).
+    dirty2_len = max(overlap_symbols - preamble.size, 1)
+    dirty2 = packet2.hints[:dirty2_len]
+    clean2 = packet2.hints[dirty2_len:]
+    checks = [
+        ShapeCheck(
+            name="packet 1 clean run decodes with near-zero hints",
+            passed=float(np.mean(clean1)) <= 1.0
+            and bool(packet1.correct[: clean1.size].all()),
+            detail=f"mean hint {np.mean(clean1):.2f} over "
+            f"{clean1.size} codewords",
+        ),
+        ShapeCheck(
+            name="collision region shows high hints on packet 1",
+            passed=float(np.mean(dirty1)) >= 4.0,
+            detail=f"mean hint {np.mean(dirty1):.2f} in overlap",
+        ),
+        ShapeCheck(
+            name="packet 2 recovered through postamble rollback",
+            passed=float(np.mean(clean2)) <= 1.0
+            and float(np.mean(packet2.correct[dirty2_len:])) >= 0.95,
+            detail=f"clean-run mean hint {np.mean(clean2):.2f}, "
+            f"correct {np.mean(packet2.correct[dirty2_len:]):.2%}",
+        ),
+        ShapeCheck(
+            name="hints separate correct from incorrect codewords",
+            passed=_hint_separation(packet1, packet2),
+            detail="mean hint(incorrect) > mean hint(correct) + 3",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Anatomy of a collision (waveform level)",
+        paper_expectation=PAPER_EXPECTATION,
+        rendered=rendered,
+        shape_checks=checks,
+        series={
+            "packet1_hints": packet1.hints,
+            "packet1_correct": packet1.correct,
+            "packet2_hints": packet2.hints,
+            "packet2_correct": packet2.correct,
+        },
+    )
+
+
+def _hint_separation(*packets: CollisionAnatomy) -> bool:
+    hints = np.concatenate([p.hints for p in packets])
+    correct = np.concatenate([p.correct for p in packets])
+    if correct.all() or not correct.any():
+        return False
+    return float(hints[~correct].mean()) > float(hints[correct].mean()) + 3.0
+
+
+if __name__ == "__main__":
+    print(run().summary())

@@ -1,0 +1,119 @@
+"""CLI for regenerating every reproduced table and figure.
+
+Usage::
+
+    python -m repro.experiments.runner --all
+    python -m repro.experiments.runner --experiment fig3 fig16
+    python -m repro.experiments.runner --all --quick   # shorter runs
+
+Each experiment prints its ASCII rendering, the paper's expectation,
+and its shape checks.  Exit status is non-zero if any shape check
+fails, so the runner doubles as a reproduction gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    exp_delivery,
+    exp_fig3,
+    exp_fig11,
+    exp_fig12,
+    exp_fig13,
+    exp_fig14,
+    exp_fig15,
+    exp_fig16,
+    exp_table1,
+    exp_table2,
+)
+from repro.experiments.common import CapacityRuns, ExperimentResult
+
+EXPERIMENTS = {
+    "table1": lambda runs: exp_table1.run(runs),
+    "table2": lambda runs: exp_table2.run(runs),
+    "fig3": lambda runs: exp_fig3.run(runs),
+    "fig8": lambda runs: exp_delivery.run_fig8(runs),
+    "fig9": lambda runs: exp_delivery.run_fig9(runs),
+    "fig10": lambda runs: exp_delivery.run_fig10(runs),
+    "fig11": lambda runs: exp_fig11.run(runs),
+    "fig12": lambda runs: exp_fig12.run(runs),
+    "fig13": lambda runs: exp_fig13.run(),
+    "fig14": lambda runs: exp_fig14.run(runs),
+    "fig15": lambda runs: exp_fig15.run(runs),
+    "fig16": lambda runs: exp_fig16.run(),
+}
+
+
+def run_experiments(
+    names: list[str], duration_s: float = 40.0, seed: int = 2007
+) -> list[ExperimentResult]:
+    """Run the named experiments against one shared run cache."""
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(
+            f"unknown experiments: {unknown}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        )
+    runs = CapacityRuns(duration_s=duration_s, seed=seed)
+    results = []
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](runs)
+        result.series["elapsed_s"] = time.perf_counter() - start
+        results.append(result)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--experiment",
+        nargs="+",
+        default=[],
+        metavar="ID",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter simulations (coarser statistics)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2007, help="experiment seed"
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.all else args.experiment
+    if not names:
+        parser.error("pass --all or --experiment ID [ID ...]")
+    duration = 15.0 if args.quick else 40.0
+    results = run_experiments(names, duration_s=duration, seed=args.seed)
+
+    failed = 0
+    for result in results:
+        print(result.summary())
+        print()
+        if not result.all_passed:
+            failed += 1
+    total_checks = sum(len(r.shape_checks) for r in results)
+    passed_checks = sum(
+        sum(c.passed for c in r.shape_checks) for r in results
+    )
+    print(
+        f"=== {len(results)} experiments, {passed_checks}/{total_checks} "
+        f"shape checks passed ==="
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Link layer: PPR framing, delivery schemes, and hint thresholding.
+
+The frame layout mirrors paper Fig. 2 (header + payload + packet CRC +
+trailer, bracketed by preamble and postamble).  Delivery schemes
+implement the three contenders of §7.2 — whole-packet CRC, fragmented
+CRC, and PPR with SoftPHY hints — behind one interface so the
+experiment harness treats them uniformly.
+"""
+
+from repro.link.frame import (
+    CRC32_BYTES,
+    HEADER_BYTES,
+    SYMBOLS_PER_BYTE,
+    TRAILER_BYTES,
+    FrameHeader,
+    PprFrame,
+    body_symbol_count,
+    parse_header_bytes,
+    parse_trailer_bytes,
+)
+from repro.link.schemes import (
+    DeliveryResult,
+    DeliveryScheme,
+    FragmentedCrcScheme,
+    PacketCrcScheme,
+    PprScheme,
+    ReceivedPayload,
+)
+from repro.link.fragmentation import (
+    AdaptiveFragmentSizer,
+    fragment_payload,
+    optimal_fragment_size,
+    reassemble_fragments,
+)
+from repro.link.relay import (
+    CombinedForward,
+    PartialForward,
+    combine_forwards,
+    make_partial_forward,
+)
+from repro.link.adaptive import AdaptiveThreshold
+from repro.link.diversity import (
+    DiversityResult,
+    combine_soft_packets,
+    diversity_gain,
+)
+from repro.link.quality import LinkObservation, LinkStats
+
+__all__ = [
+    "CRC32_BYTES",
+    "HEADER_BYTES",
+    "SYMBOLS_PER_BYTE",
+    "TRAILER_BYTES",
+    "FrameHeader",
+    "PprFrame",
+    "body_symbol_count",
+    "parse_header_bytes",
+    "parse_trailer_bytes",
+    "DeliveryResult",
+    "DeliveryScheme",
+    "FragmentedCrcScheme",
+    "PacketCrcScheme",
+    "PprScheme",
+    "ReceivedPayload",
+    "AdaptiveFragmentSizer",
+    "fragment_payload",
+    "optimal_fragment_size",
+    "reassemble_fragments",
+    "CombinedForward",
+    "PartialForward",
+    "combine_forwards",
+    "make_partial_forward",
+    "AdaptiveThreshold",
+    "DiversityResult",
+    "combine_soft_packets",
+    "diversity_gain",
+    "LinkObservation",
+    "LinkStats",
+]

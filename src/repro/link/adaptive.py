@@ -1,0 +1,113 @@
+"""Adaptive SoftPHY threshold selection (paper §3.3).
+
+The architectural contract between PHY and link layer is monotonicity
+only: lower hint means higher confidence.  The link layer must *learn*
+the threshold η by observing how hints correlate with verified
+correctness (it learns correctness post-hoc, e.g. from PP-ARQ CRC
+verification of runs).  :class:`AdaptiveThreshold` keeps hint
+histograms for verified-correct and verified-incorrect codewords and
+picks the η minimising expected mislabelling cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AdaptiveThreshold:
+    """Online η selection from (hint, verified-correctness) feedback.
+
+    Parameters
+    ----------
+    max_hint:
+        Upper bound on hint values tracked (inclusive); the Hamming
+        hint of a 32-chip codebook never exceeds 32.
+    miss_cost:
+        Relative cost of a *miss* — labelling an incorrect codeword
+        good.  Misses corrupt delivered data and force extra recovery
+        rounds, so this outweighs false alarms by default (paper §7.4:
+        "the overhead of a false alarm is low — just one unnecessarily
+        transmitted codeword").
+    false_alarm_cost:
+        Relative cost of labelling a correct codeword bad (one codeword
+        of needless retransmission).
+    prior_count:
+        Laplace smoothing added to each histogram bin, so early
+        decisions are conservative rather than degenerate.
+    """
+
+    def __init__(
+        self,
+        max_hint: int = 32,
+        miss_cost: float = 10.0,
+        false_alarm_cost: float = 1.0,
+        prior_count: float = 1.0,
+    ) -> None:
+        if max_hint < 1:
+            raise ValueError(f"max_hint must be >= 1, got {max_hint}")
+        if miss_cost <= 0 or false_alarm_cost <= 0:
+            raise ValueError("costs must be positive")
+        if prior_count < 0:
+            raise ValueError(
+                f"prior_count must be non-negative, got {prior_count}"
+            )
+        self._max_hint = int(max_hint)
+        self._miss_cost = float(miss_cost)
+        self._fa_cost = float(false_alarm_cost)
+        self._prior_count = float(prior_count)
+        self._correct = np.full(self._max_hint + 1, self._prior_count)
+        self._incorrect = np.full(self._max_hint + 1, self._prior_count)
+
+    @property
+    def max_hint(self) -> int:
+        """Largest hint value tracked."""
+        return self._max_hint
+
+    @property
+    def observations(self) -> int:
+        """Number of verified codewords observed (excluding the prior)."""
+        total = self._correct.sum() + self._incorrect.sum()
+        prior_mass = 2 * (self._max_hint + 1) * self._prior_count
+        return int(round(total - prior_mass))
+
+    def observe(self, hints: np.ndarray, correct: np.ndarray) -> None:
+        """Record verified codewords: ``correct[i]`` for ``hints[i]``."""
+        hints = np.clip(
+            np.asarray(hints, dtype=np.float64).round().astype(int),
+            0,
+            self._max_hint,
+        )
+        correct = np.asarray(correct, dtype=bool)
+        if hints.shape != correct.shape:
+            raise ValueError("hints and correct must have the same shape")
+        np.add.at(self._correct, hints[correct], 1.0)
+        np.add.at(self._incorrect, hints[~correct], 1.0)
+
+    def expected_costs(self) -> np.ndarray:
+        """Expected mislabelling cost for every candidate η in [0, max].
+
+        ``cost(η) = miss_cost * P(incorrect, hint <= η)
+        + fa_cost * P(correct, hint > η)``
+        """
+        total = self._correct.sum() + self._incorrect.sum()
+        cum_incorrect = np.cumsum(self._incorrect)
+        tail_correct = self._correct.sum() - np.cumsum(self._correct)
+        return (
+            self._miss_cost * cum_incorrect + self._fa_cost * tail_correct
+        ) / total
+
+    def best_threshold(self) -> int:
+        """The η minimising expected cost (ties go to the smaller η)."""
+        return int(self.expected_costs().argmin())
+
+    def miss_rate(self, eta: float) -> float:
+        """Estimated P(hint <= η | incorrect) — the §7.4.1 miss rate."""
+        idx = int(min(max(eta, 0), self._max_hint))
+        total = self._incorrect.sum()
+        return float(self._incorrect[: idx + 1].sum() / total)
+
+    def false_alarm_rate(self, eta: float) -> float:
+        """Estimated P(hint > η | correct) — the §7.4.2 false-alarm rate."""
+        idx = int(min(max(eta, 0), self._max_hint))
+        total = self._correct.sum()
+        return float(self._correct[idx + 1 :].sum() / total)

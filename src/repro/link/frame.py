@@ -1,0 +1,200 @@
+"""PPR frame layout (paper Fig. 2).
+
+On-air structure::
+
+    preamble(8 sym) SFD(2 sym) | header | wire payload | trailer |
+    postamble(8 sym) EFD(2 sym)
+
+* **Header** (10 bytes): length(2) src(2) dst(2) seq(2) crc16(2).  The
+  CRC-16 covers the first eight header bytes so the header verifies on
+  its own — a preamble-path receiver needs a trustworthy length field
+  before the rest of the frame arrives.
+* **Wire payload**: produced by the active delivery scheme; for the
+  packet-CRC and PPR schemes this is ``payload + CRC-32(payload)``, for
+  fragmented CRC it is per-fragment CRCs (see
+  :mod:`repro.link.schemes`).  ``length`` in the header/trailer is the
+  *wire payload* byte count.
+* **Trailer** (10 bytes): the same fields replicated with their own
+  CRC-16, so a postamble-path receiver can recover frame boundaries by
+  rolling back (paper §4).
+
+Every field is a whole number of bytes, hence a whole number of 4-bit
+symbols, keeping codeword alignment trivial.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.spreading import bytes_to_symbols, symbols_to_bytes
+from repro.phy.sync import (
+    EFD_SYMBOLS,
+    POSTAMBLE_SYMBOLS,
+    PREAMBLE_SYMBOLS,
+    SFD_SYMBOLS,
+)
+from repro.utils.crc import crc16
+
+HEADER_BYTES = 10
+TRAILER_BYTES = 10
+CRC32_BYTES = 4
+SYMBOLS_PER_BYTE = 2
+MAX_WIRE_PAYLOAD = 0xFFFF
+
+_HEADER_STRUCT = struct.Struct(">HHHHH")
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Header/trailer fields: wire-payload length, addresses, sequence."""
+
+    length: int
+    src: int
+    dst: int
+    seq: int
+
+    def __post_init__(self) -> None:
+        for name in ("length", "src", "dst", "seq"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFF:
+                raise ValueError(
+                    f"{name} must fit in 16 bits, got {value}"
+                )
+
+    def pack(self) -> bytes:
+        """Serialise to 10 bytes with a CRC-16 over the first eight."""
+        body = struct.pack(">HHHH", self.length, self.src, self.dst, self.seq)
+        return body + struct.pack(">H", crc16(body))
+
+
+def parse_header_bytes(data: bytes) -> tuple[FrameHeader, bool]:
+    """Parse 10 header bytes; returns ``(header, crc_ok)``.
+
+    Parsing never raises on corrupt content — a receiver must be able
+    to look at a damaged header and judge it by its CRC.
+    """
+    if len(data) != HEADER_BYTES:
+        raise ValueError(
+            f"header must be exactly {HEADER_BYTES} bytes, got {len(data)}"
+        )
+    length, src, dst, seq, crc = _HEADER_STRUCT.unpack(data)
+    ok = crc16(data[:8]) == crc
+    return FrameHeader(length=length, src=src, dst=dst, seq=seq), ok
+
+
+def parse_trailer_bytes(data: bytes) -> tuple[FrameHeader, bool]:
+    """Parse 10 trailer bytes (same layout as the header)."""
+    if len(data) != TRAILER_BYTES:
+        raise ValueError(
+            f"trailer must be exactly {TRAILER_BYTES} bytes, got {len(data)}"
+        )
+    return parse_header_bytes(data)
+
+
+def body_symbol_count(wire_payload_len: int) -> int:
+    """Symbols in the frame body for a wire payload of given bytes."""
+    if wire_payload_len < 0:
+        raise ValueError(
+            f"wire_payload_len must be non-negative, got {wire_payload_len}"
+        )
+    return SYMBOLS_PER_BYTE * (HEADER_BYTES + wire_payload_len + TRAILER_BYTES)
+
+
+@dataclass(frozen=True)
+class PprFrame:
+    """A fully-formed PPR frame ready for (simulated) transmission."""
+
+    header: FrameHeader
+    wire_payload: bytes
+
+    @classmethod
+    def build(
+        cls, src: int, dst: int, seq: int, wire_payload: bytes
+    ) -> "PprFrame":
+        """Construct a frame around an already-scheme-encoded payload."""
+        if len(wire_payload) > MAX_WIRE_PAYLOAD:
+            raise ValueError(
+                f"wire payload too large: {len(wire_payload)} bytes"
+            )
+        header = FrameHeader(
+            length=len(wire_payload), src=src, dst=dst, seq=seq
+        )
+        return cls(header=header, wire_payload=bytes(wire_payload))
+
+    # -- symbol-domain views -------------------------------------------------
+
+    def body_bytes(self) -> bytes:
+        """Header + wire payload + trailer as bytes."""
+        h = self.header.pack()
+        return h + self.wire_payload + h
+
+    def body_symbols(self) -> np.ndarray:
+        """The frame body as 4-bit symbol indices."""
+        return bytes_to_symbols(self.body_bytes())
+
+    def on_air_symbols(self) -> np.ndarray:
+        """Complete on-air symbol stream including sync fields."""
+        return np.concatenate(
+            [
+                np.array(PREAMBLE_SYMBOLS + SFD_SYMBOLS, dtype=np.int64),
+                self.body_symbols(),
+                np.array(POSTAMBLE_SYMBOLS + EFD_SYMBOLS, dtype=np.int64),
+            ]
+        )
+
+    @property
+    def n_body_symbols(self) -> int:
+        """Symbols in the body region."""
+        return body_symbol_count(len(self.wire_payload))
+
+    @property
+    def n_air_symbols(self) -> int:
+        """Total on-air symbols including both sync fields."""
+        return self.n_body_symbols + 2 * 10
+
+    def payload_symbol_range(self) -> tuple[int, int]:
+        """(start, end) symbol indices of the wire payload in the body."""
+        start = SYMBOLS_PER_BYTE * HEADER_BYTES
+        end = start + SYMBOLS_PER_BYTE * len(self.wire_payload)
+        return start, end
+
+
+@dataclass(frozen=True)
+class ParsedBody:
+    """Result of parsing a decoded frame body."""
+
+    header: FrameHeader
+    header_ok: bool
+    trailer: FrameHeader
+    trailer_ok: bool
+    wire_payload: bytes
+
+
+def parse_body_symbols(symbols: np.ndarray) -> ParsedBody:
+    """Parse a decoded body symbol array back into frame fields.
+
+    The symbol count must equal :func:`body_symbol_count` for the
+    payload length implied by the array size; corrupt field *contents*
+    are fine (flagged by the CRCs), but a structurally impossible size
+    raises.
+    """
+    symbols = np.asarray(symbols, dtype=np.int64)
+    n_overhead = SYMBOLS_PER_BYTE * (HEADER_BYTES + TRAILER_BYTES)
+    if symbols.size < n_overhead or symbols.size % SYMBOLS_PER_BYTE:
+        raise ValueError(
+            f"body of {symbols.size} symbols cannot hold header + trailer"
+        )
+    data = symbols_to_bytes(symbols)
+    header, header_ok = parse_header_bytes(data[:HEADER_BYTES])
+    trailer, trailer_ok = parse_trailer_bytes(data[-TRAILER_BYTES:])
+    wire_payload = data[HEADER_BYTES : len(data) - TRAILER_BYTES]
+    return ParsedBody(
+        header=header,
+        header_ok=header_ok,
+        trailer=trailer,
+        trailer_ok=trailer_ok,
+        wire_payload=wire_payload,
+    )

@@ -1,0 +1,125 @@
+"""Opportunistic partial forwarding on SoftPHY hints (paper §2, §8.4).
+
+The paper sketches how forwarding protocols could consume SoftPHY
+directly: *"Other ways to use SoftPHY information include integrating
+it with forwarding protocols or opportunistic routing protocols,
+forwarding only the bits likely to be correct"*, and for mesh protocols
+like ExOR, *"nodes need only forward or combine ... symbols (groups of
+bits) that are likely to be correct, and avoid wasting network capacity
+on incorrect data."*
+
+:class:`PartialForward` is a relay's output: the symbols it believed
+good, with their positions.  :func:`combine_forwards` merges partial
+forwards from several relays at the destination, preferring the most
+confident copy per position and reporting which positions remain
+missing (to be recovered by PP-ARQ "in the background", as §8.4 puts
+it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.symbols import SoftPacket
+
+
+@dataclass(frozen=True)
+class PartialForward:
+    """Symbols a relay chose to forward.
+
+    ``positions`` are indices into the original frame; ``symbols`` and
+    ``hints`` are the relay's decoded values and confidences at those
+    positions; ``n_symbols`` is the full frame length.
+    """
+
+    n_symbols: int
+    positions: np.ndarray
+    symbols: np.ndarray
+    hints: np.ndarray
+
+    def __post_init__(self) -> None:
+        positions = np.asarray(self.positions, dtype=np.int64)
+        symbols = np.asarray(self.symbols, dtype=np.int64)
+        hints = np.asarray(self.hints, dtype=np.float64)
+        if not (positions.size == symbols.size == hints.size):
+            raise ValueError(
+                "positions, symbols and hints must have equal sizes"
+            )
+        if positions.size and (
+            positions.min() < 0 or positions.max() >= self.n_symbols
+        ):
+            raise ValueError("positions out of frame range")
+        if positions.size and np.any(np.diff(np.sort(positions)) == 0):
+            raise ValueError("positions must be unique")
+        object.__setattr__(self, "positions", positions)
+        object.__setattr__(self, "symbols", symbols)
+        object.__setattr__(self, "hints", hints)
+
+    @property
+    def forwarded_fraction(self) -> float:
+        """Share of the frame this relay forwarded."""
+        if self.n_symbols == 0:
+            return 0.0
+        return self.positions.size / self.n_symbols
+
+    @property
+    def airtime_symbols(self) -> int:
+        """Symbols of relay airtime spent (the §8.4 capacity saving:
+        only the good symbols travel)."""
+        return int(self.positions.size)
+
+
+def make_partial_forward(
+    reception: SoftPacket, eta: float
+) -> PartialForward:
+    """Apply the threshold rule and keep only the good symbols."""
+    good = reception.good_mask(eta)
+    positions = np.flatnonzero(good)
+    return PartialForward(
+        n_symbols=reception.n_symbols,
+        positions=positions,
+        symbols=reception.symbols[positions],
+        hints=reception.hints[positions],
+    )
+
+
+@dataclass(frozen=True)
+class CombinedForward:
+    """Destination-side merge of partial forwards."""
+
+    symbols: np.ndarray
+    hints: np.ndarray
+    covered: np.ndarray  # bool: position received from some relay
+
+    @property
+    def missing_positions(self) -> np.ndarray:
+        """Positions no relay forwarded (left for PP-ARQ recovery)."""
+        return np.flatnonzero(~self.covered)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the frame covered by at least one relay."""
+        if self.covered.size == 0:
+            return 0.0
+        return float(self.covered.mean())
+
+
+def combine_forwards(forwards: list[PartialForward]) -> CombinedForward:
+    """Merge relays' partial forwards, most confident copy per symbol."""
+    if not forwards:
+        raise ValueError("need at least one partial forward")
+    n = forwards[0].n_symbols
+    if any(f.n_symbols != n for f in forwards):
+        raise ValueError("forwards disagree on frame length")
+    symbols = np.zeros(n, dtype=np.int64)
+    hints = np.full(n, np.inf)
+    covered = np.zeros(n, dtype=bool)
+    for forward in forwards:
+        better = forward.hints < hints[forward.positions]
+        pos = forward.positions[better]
+        symbols[pos] = forward.symbols[better]
+        hints[pos] = forward.hints[better]
+        covered[forward.positions] = True
+    return CombinedForward(symbols=symbols, hints=hints, covered=covered)

@@ -1,0 +1,75 @@
+"""Physical layer: DSSS codebooks, modulation, channels, and decoding.
+
+Two fidelity levels share one decoding core:
+
+* **Chip level** (``chipchannel``) — chips cross a binary symmetric
+  channel whose flip probability follows the per-symbol SINR.  This is
+  what the network-scale experiments use; despreading gain and SoftPHY
+  Hamming hints emerge from real nearest-codeword decoding.
+* **Waveform level** (``modulation``/``channelsim``/``demodulation``) —
+  a complex-baseband MSK (half-sine O-QPSK) modem with matched
+  filtering, timing recovery and preamble/postamble synchronisation,
+  used by the collision-anatomy experiment (paper Fig. 13) and the PHY
+  test suite.
+"""
+
+from repro.phy.codebook import Codebook, RandomCodebook, ZigbeeCodebook
+from repro.phy.decoder import (
+    HardDecisionDecoder,
+    MatchedFilterHinter,
+    SoftDecisionDecoder,
+)
+from repro.phy.chipchannel import (
+    chip_error_probability,
+    transmit_chipwords,
+)
+from repro.phy.spreading import (
+    bits_to_symbols,
+    bytes_to_symbols,
+    symbols_to_bits,
+    symbols_to_bytes,
+)
+from repro.phy.symbols import SoftPacket, SoftSymbol
+from repro.phy.modulation import MskModulator
+from repro.phy.demodulation import MskDemodulator
+from repro.phy.sync import (
+    PREAMBLE_SYMBOLS,
+    POSTAMBLE_SYMBOLS,
+    SFD_SYMBOLS,
+    CorrelationSynchronizer,
+    RollbackBuffer,
+)
+from repro.phy.frontend import ReceiverFrontend
+from repro.phy.convolutional import (
+    ConvolutionalCode,
+    SovaDecoder,
+    SovaResult,
+)
+
+__all__ = [
+    "ConvolutionalCode",
+    "SovaDecoder",
+    "SovaResult",
+    "Codebook",
+    "RandomCodebook",
+    "ZigbeeCodebook",
+    "HardDecisionDecoder",
+    "SoftDecisionDecoder",
+    "MatchedFilterHinter",
+    "chip_error_probability",
+    "transmit_chipwords",
+    "bits_to_symbols",
+    "bytes_to_symbols",
+    "symbols_to_bits",
+    "symbols_to_bytes",
+    "SoftPacket",
+    "SoftSymbol",
+    "MskModulator",
+    "MskDemodulator",
+    "PREAMBLE_SYMBOLS",
+    "POSTAMBLE_SYMBOLS",
+    "SFD_SYMBOLS",
+    "CorrelationSynchronizer",
+    "RollbackBuffer",
+    "ReceiverFrontend",
+]

@@ -1,0 +1,113 @@
+"""Complex-baseband channel for the waveform path.
+
+Supports the impairments the Fig. 13 experiment needs: additive white
+Gaussian noise, per-transmission gain/delay/phase, carrier frequency
+offset, and the superposition of multiple concurrent transmissions
+(collisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class TransmissionInstance:
+    """One waveform placed on the medium.
+
+    ``offset`` is in samples from the start of the capture window;
+    ``gain`` is linear amplitude; ``cfo`` is carrier frequency offset in
+    cycles/sample; ``phase`` is a fixed phase rotation in radians.
+    """
+
+    samples: np.ndarray
+    offset: int
+    gain: float = 1.0
+    cfo: float = 0.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"offset must be non-negative, got {self.offset}")
+        if self.gain <= 0:
+            raise ValueError(f"gain must be positive, got {self.gain}")
+
+
+def mix_transmissions(
+    transmissions: list[TransmissionInstance],
+    window_len: int | None = None,
+) -> np.ndarray:
+    """Superpose transmissions into one capture window (no noise)."""
+    if window_len is None:
+        if not transmissions:
+            raise ValueError("need window_len when there are no transmissions")
+        window_len = max(t.offset + t.samples.size for t in transmissions)
+    out = np.zeros(window_len, dtype=np.complex128)
+    for t in transmissions:
+        wave = np.asarray(t.samples, dtype=np.complex128)
+        if t.cfo != 0.0 or t.phase != 0.0:
+            n = np.arange(wave.size)
+            wave = wave * np.exp(1j * (2 * np.pi * t.cfo * n + t.phase))
+        end = min(t.offset + wave.size, window_len)
+        if end > t.offset:
+            out[t.offset : end] += t.gain * wave[: end - t.offset]
+    return out
+
+
+def add_awgn(
+    samples: np.ndarray,
+    noise_power: float,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Add circular complex Gaussian noise of the given total power.
+
+    ``noise_power`` is E[|n|^2]; each of the real/imag components gets
+    half of it.
+    """
+    if noise_power < 0:
+        raise ValueError(f"noise_power must be non-negative, got {noise_power}")
+    samples = np.asarray(samples, dtype=np.complex128)
+    if noise_power == 0:
+        return samples.copy()
+    gen = ensure_rng(rng)
+    sigma = np.sqrt(noise_power / 2.0)
+    noise = gen.normal(0.0, sigma, samples.size) + 1j * gen.normal(
+        0.0, sigma, samples.size
+    )
+    return samples + noise
+
+
+def awgn_collision_channel(
+    transmissions: list[TransmissionInstance],
+    noise_power: float,
+    window_len: int | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Convenience: mix transmissions then add AWGN."""
+    mixed = mix_transmissions(transmissions, window_len)
+    return add_awgn(mixed, noise_power, rng)
+
+
+def fractional_delay(samples: np.ndarray, delay: float) -> np.ndarray:
+    """Apply a (possibly fractional) sample delay via linear interpolation.
+
+    Used to exercise symbol-timing recovery: the receiver's sample grid
+    then no longer lines up with chip boundaries.
+    """
+    if delay < 0:
+        raise ValueError(f"delay must be non-negative, got {delay}")
+    samples = np.asarray(samples, dtype=np.complex128)
+    whole = int(np.floor(delay))
+    frac = delay - whole
+    out = np.concatenate([np.zeros(whole, dtype=np.complex128), samples])
+    if frac == 0.0:
+        return out
+    shifted = np.empty(out.size + 1, dtype=np.complex128)
+    shifted[0] = (1 - frac) * out[0]
+    shifted[1:-1] = (1 - frac) * out[1:] + frac * out[:-1]
+    shifted[-1] = frac * out[-1]
+    return shifted

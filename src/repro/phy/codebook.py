@@ -1,0 +1,230 @@
+"""DSSS codebooks: the symbol -> chip-sequence mapping.
+
+The paper's senders are CC2420 radios: 802.15.4 DSSS at 2 Mchip/s with
+``B = 32`` chip codewords, each encoding ``b = 4`` data bits (16
+codewords).  The Hamming distance between a received 32-chip word and
+the nearest codeword is PPR's SoftPHY hint (paper §3.2), so the
+codebook is the heart of the hint machinery.
+
+:class:`ZigbeeCodebook` reproduces the IEEE 802.15.4 2450 MHz chip
+sequences: symbols 1..7 are 4-chip cyclic rotations of the symbol-0
+sequence, and symbols 8..15 invert the odd-indexed (Q-phase) chips.
+:class:`RandomCodebook` generates codebooks with other (b, B) geometries
+for ablations over spreading factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bitops import pack_bits_to_uint32, popcount32, unpack_uint32_to_bits
+from repro.utils.rng import ensure_rng
+
+# IEEE 802.15.4-2006 Table 24 (2450 MHz O-QPSK PHY), chip sequence for
+# data symbol 0, chips c0..c31.
+_ZIGBEE_BASE_CHIPS = np.array(
+    [1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+     0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0],
+    dtype=np.uint8,
+)
+
+
+class Codebook:
+    """A symbol -> chip-word mapping with vectorised nearest decoding.
+
+    Parameters
+    ----------
+    codewords:
+        ``(n_symbols, chips_per_symbol)`` array of 0/1 chips.  The
+        number of symbols must be a power of two so that each symbol
+        encodes an integer number of bits.
+    """
+
+    def __init__(self, codewords: np.ndarray) -> None:
+        codewords = np.asarray(codewords, dtype=np.uint8)
+        if codewords.ndim != 2:
+            raise ValueError(f"codewords must be 2-D, got {codewords.ndim}-D")
+        n, width = codewords.shape
+        if n < 2 or (n & (n - 1)) != 0:
+            raise ValueError(
+                f"number of codewords must be a power of two >= 2, got {n}"
+            )
+        if width != 32:
+            raise ValueError(
+                "this implementation packs chip words into uint32; "
+                f"chips_per_symbol must be 32, got {width}"
+            )
+        if len({tuple(row) for row in codewords.tolist()}) != n:
+            raise ValueError("codewords must be distinct")
+        self._chips = codewords
+        self._words = pack_bits_to_uint32(codewords)
+        self._bits_per_symbol = int(np.log2(n))
+        # ±1 chip patterns for soft-decision correlation (Eq. 1).
+        self._signs = codewords.astype(np.float64) * 2.0 - 1.0
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def n_symbols(self) -> int:
+        """Number of codewords (2**bits_per_symbol)."""
+        return self._chips.shape[0]
+
+    @property
+    def chips_per_symbol(self) -> int:
+        """Chips per codeword (the paper's B)."""
+        return self._chips.shape[1]
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Data bits per codeword (the paper's b)."""
+        return self._bits_per_symbol
+
+    @property
+    def chip_matrix(self) -> np.ndarray:
+        """Copy of the (n_symbols, chips_per_symbol) chip matrix."""
+        return self._chips.copy()
+
+    @property
+    def chip_words(self) -> np.ndarray:
+        """Codewords packed as uint32, chip 0 in the MSB."""
+        return self._words.copy()
+
+    @property
+    def sign_matrix(self) -> np.ndarray:
+        """Codewords as ±1 floats, for correlation decoding."""
+        return self._signs.copy()
+
+    # -- encode / decode ---------------------------------------------------
+
+    def encode(self, symbols: np.ndarray) -> np.ndarray:
+        """Map symbol indices to a flat chip array.
+
+        Returns a 1-D uint8 array of length
+        ``len(symbols) * chips_per_symbol``.
+        """
+        symbols = np.asarray(symbols, dtype=np.int64)
+        if symbols.size and (symbols.min() < 0 or symbols.max() >= self.n_symbols):
+            raise ValueError(
+                f"symbol indices must be in [0, {self.n_symbols}), "
+                f"got range [{symbols.min()}, {symbols.max()}]"
+            )
+        return self._chips[symbols].reshape(-1)
+
+    def encode_words(self, symbols: np.ndarray) -> np.ndarray:
+        """Map symbol indices to packed uint32 chip words."""
+        symbols = np.asarray(symbols, dtype=np.int64)
+        if symbols.size and (symbols.min() < 0 or symbols.max() >= self.n_symbols):
+            raise ValueError(
+                f"symbol indices must be in [0, {self.n_symbols})"
+            )
+        return self._words[symbols]
+
+    def decode_hard(
+        self, received_words: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest-codeword decode of packed uint32 chip words.
+
+        Returns ``(symbols, distances)`` where ``distances[i]`` is the
+        Hamming distance from received word *i* to the codeword it was
+        decoded to — exactly the SoftPHY hint of paper §3.2.
+
+        Ties resolve to the lowest symbol index, which matches a
+        deterministic hardware correlator bank.
+        """
+        received_words = np.asarray(received_words, dtype=np.uint32)
+        # (n_received, n_symbols) distance matrix via XOR + popcount.
+        xor = received_words[:, None] ^ self._words[None, :]
+        dist = popcount32(xor)
+        symbols = dist.argmin(axis=1)
+        distances = dist[np.arange(dist.shape[0]), symbols]
+        return symbols.astype(np.int64), distances.astype(np.int64)
+
+    def decode_soft(
+        self, chip_samples: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Soft-decision decode of ±1-ish chip samples (paper Eq. 1).
+
+        ``chip_samples`` has shape ``(n_received, chips_per_symbol)``.
+        Returns ``(symbols, correlations)`` where ``correlations[i]`` is
+        the winning correlation metric ``C(R, C_i)`` — larger means more
+        confident.
+        """
+        chip_samples = np.asarray(chip_samples, dtype=np.float64)
+        if chip_samples.ndim != 2 or chip_samples.shape[1] != self.chips_per_symbol:
+            raise ValueError(
+                f"expected shape (n, {self.chips_per_symbol}), "
+                f"got {chip_samples.shape}"
+            )
+        corr = chip_samples @ self._signs.T
+        symbols = corr.argmax(axis=1)
+        best = corr[np.arange(corr.shape[0]), symbols]
+        return symbols.astype(np.int64), best
+
+    # -- distance structure ------------------------------------------------
+
+    def pairwise_distances(self) -> np.ndarray:
+        """(n, n) matrix of Hamming distances between codewords."""
+        xor = self._words[:, None] ^ self._words[None, :]
+        return popcount32(xor)
+
+    def min_distance(self) -> int:
+        """Minimum Hamming distance between distinct codewords."""
+        d = self.pairwise_distances()
+        n = d.shape[0]
+        return int(d[~np.eye(n, dtype=bool)].min())
+
+    def words_to_chips(self, words: np.ndarray) -> np.ndarray:
+        """Unpack uint32 chip words into an (n, chips_per_symbol) array."""
+        return unpack_uint32_to_bits(words)
+
+
+class ZigbeeCodebook(Codebook):
+    """The IEEE 802.15.4 2450 MHz codebook: 16 codewords of 32 chips.
+
+    Symbol *k* for k in 1..7 is the symbol-0 sequence cyclically rotated
+    right by 4k chips; symbols 8..15 are symbols 0..7 with the
+    odd-indexed chips inverted (Q-phase conjugation).
+    """
+
+    def __init__(self) -> None:
+        rows = []
+        for k in range(8):
+            rows.append(np.roll(_ZIGBEE_BASE_CHIPS, 4 * k))
+        odd_mask = np.zeros(32, dtype=np.uint8)
+        odd_mask[1::2] = 1
+        for k in range(8):
+            rows.append(rows[k] ^ odd_mask)
+        super().__init__(np.stack(rows))
+
+
+class RandomCodebook(Codebook):
+    """A random codebook with the Zigbee geometry but fresh sequences.
+
+    Useful for ablating how much of PPR's hint quality comes from the
+    specific 802.15.4 sequences versus the 4->32 spreading ratio.
+    Generation rejects candidate codeword sets whose minimum distance
+    falls below ``min_distance`` (default 10), retrying up to
+    ``max_tries`` times.
+    """
+
+    def __init__(
+        self,
+        n_symbols: int = 16,
+        rng: int | np.random.Generator | None = 0,
+        min_distance: int = 10,
+        max_tries: int = 200,
+    ) -> None:
+        gen = ensure_rng(rng)
+        for _ in range(max_tries):
+            chips = gen.integers(0, 2, size=(n_symbols, 32), dtype=np.uint8)
+            try:
+                candidate = Codebook(chips)
+            except ValueError:
+                continue
+            if candidate.min_distance() >= min_distance:
+                super().__init__(chips)
+                return
+        raise RuntimeError(
+            f"could not generate a codebook with min distance "
+            f">= {min_distance} in {max_tries} tries"
+        )

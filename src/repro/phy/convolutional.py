@@ -1,0 +1,262 @@
+"""Convolutional coding with soft-output Viterbi decoding.
+
+Paper §3.1 names a third SoftPHY hint source: *"a particularly
+interesting instance of a confidence metric when convolutional decoding
+is used ... is to use the output of the Viterbi decoder"* — the
+soft-output Viterbi algorithm (SOVA) of Hagenauer & Hoeher, whose
+reliability for each bit is how decisively the surviving trellis path
+beat the competitors that disagree on that bit.
+
+This module provides a rate-1/2 feed-forward convolutional code (the
+classic (7, 5) octal generator pair by default) and a Viterbi decoder
+that emits per-bit reliabilities via the standard simplified SOVA
+update: each decoded bit's reliability is the minimum path-metric
+margin among the merges, within an update window, whose competitor
+path disagrees on that bit.
+
+Hints follow the library convention (lower = more confident):
+``hint = -reliability``, so a decisively-decoded bit gets a large
+negative hint and a coin-flip decision gets a hint near 0.  Only the
+monotone ordering matters to higher layers (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _poly_taps(poly: int, constraint: int) -> np.ndarray:
+    """Binary tap vector (current bit first) for an octal generator."""
+    return np.array(
+        [(poly >> (constraint - 1 - i)) & 1 for i in range(constraint)],
+        dtype=np.int64,
+    )
+
+
+@dataclass(frozen=True)
+class ConvolutionalCode:
+    """A rate-1/n feed-forward convolutional code.
+
+    Parameters
+    ----------
+    generators:
+        Generator polynomials in octal-style integers; the default
+        (0o7, 0o5) is the ubiquitous constraint-length-3 pair.
+    constraint:
+        Constraint length K (memory = K - 1).
+    """
+
+    generators: tuple[int, ...] = (0o7, 0o5)
+    constraint: int = 3
+
+    def __post_init__(self) -> None:
+        if self.constraint < 2:
+            raise ValueError(
+                f"constraint length must be >= 2, got {self.constraint}"
+            )
+        if len(self.generators) < 2:
+            raise ValueError("need at least two generator polynomials")
+        limit = 1 << self.constraint
+        if any(not 0 < g < limit for g in self.generators):
+            raise ValueError(
+                f"generators must fit in {self.constraint} bits"
+            )
+
+    @property
+    def rate_inverse(self) -> int:
+        """Output bits per input bit (n of rate 1/n)."""
+        return len(self.generators)
+
+    @property
+    def n_states(self) -> int:
+        """Trellis states (2^(K-1))."""
+        return 1 << (self.constraint - 1)
+
+    def encode(self, bits: np.ndarray, terminate: bool = True) -> np.ndarray:
+        """Encode a bit array; optionally append K-1 flush zeros.
+
+        Termination drives the encoder back to state 0 so the decoder
+        can anchor both ends of the trellis.
+        """
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ValueError("input must be a 0/1 bit array")
+        if terminate:
+            bits = np.concatenate(
+                [bits, np.zeros(self.constraint - 1, dtype=np.int64)]
+            )
+        taps = [_poly_taps(g, self.constraint) for g in self.generators]
+        state = np.zeros(self.constraint - 1, dtype=np.int64)
+        out = np.empty(bits.size * self.rate_inverse, dtype=np.uint8)
+        pos = 0
+        for b in bits:
+            window = np.concatenate([[b], state])
+            for tap in taps:
+                out[pos] = int(window @ tap) & 1
+                pos += 1
+            state = window[:-1]
+        return out
+
+    def transitions(self):
+        """(next_state, output_bits) tables indexed by [state, input]."""
+        taps = [_poly_taps(g, self.constraint) for g in self.generators]
+        n_states = self.n_states
+        memory = self.constraint - 1
+        next_state = np.zeros((n_states, 2), dtype=np.int64)
+        outputs = np.zeros(
+            (n_states, 2, self.rate_inverse), dtype=np.int64
+        )
+        for state in range(n_states):
+            state_bits = [
+                (state >> (memory - 1 - i)) & 1 for i in range(memory)
+            ]
+            for bit in (0, 1):
+                window = np.array([bit] + state_bits, dtype=np.int64)
+                outputs[state, bit] = [
+                    int(window @ tap) & 1 for tap in taps
+                ]
+                next_state[state, bit] = int(
+                    "".join(map(str, window[:-1].tolist())), 2
+                ) if memory else 0
+        return next_state, outputs
+
+
+@dataclass(frozen=True)
+class SovaResult:
+    """Decoded bits and their SOVA hints (lower = more confident)."""
+
+    bits: np.ndarray
+    hints: np.ndarray
+
+
+class SovaDecoder:
+    """Viterbi decoding with simplified SOVA reliabilities.
+
+    Consumes *LLR-like* soft inputs: one float per coded bit, positive
+    meaning "this coded bit is probably 0" (sign convention matches
+    ``1 - 2*bit`` antipodal mapping).  Hard received bits can be mapped
+    through :meth:`llrs_from_hard`.
+    """
+
+    def __init__(
+        self,
+        code: ConvolutionalCode | None = None,
+        update_window: int | None = None,
+    ) -> None:
+        self._code = code or ConvolutionalCode()
+        self._window = (
+            update_window
+            if update_window is not None
+            else 5 * self._code.constraint
+        )
+        if self._window < 1:
+            raise ValueError(
+                f"update_window must be >= 1, got {self._window}"
+            )
+        self._next_state, self._outputs = self._code.transitions()
+
+    @property
+    def code(self) -> ConvolutionalCode:
+        """The convolutional code being decoded."""
+        return self._code
+
+    @staticmethod
+    def llrs_from_hard(
+        bits: np.ndarray, confidence: float = 2.0
+    ) -> np.ndarray:
+        """Map hard bits to fixed-magnitude LLRs."""
+        bits = np.asarray(bits, dtype=np.int64)
+        return confidence * (1.0 - 2.0 * bits)
+
+    def decode(self, llrs: np.ndarray) -> SovaResult:
+        """Decode terminated LLRs into bits + SOVA hints.
+
+        The LLR count must be a multiple of the code rate inverse; the
+        trailing K-1 flush bits are stripped from the result.
+        """
+        llrs = np.asarray(llrs, dtype=np.float64)
+        n = self._code.rate_inverse
+        if llrs.size % n != 0:
+            raise ValueError(
+                f"LLR count {llrs.size} is not a multiple of {n}"
+            )
+        n_steps = llrs.size // n
+        memory = self._code.constraint - 1
+        if n_steps <= memory:
+            raise ValueError("input too short for a terminated trellis")
+        n_states = self._code.n_states
+        neg_inf = -np.inf
+
+        # Branch metric: correlation of antipodal outputs with LLRs.
+        step_llrs = llrs.reshape(n_steps, n)
+        antipodal = 1.0 - 2.0 * self._outputs  # (state, input, n)
+
+        metrics = np.full(n_states, neg_inf)
+        metrics[0] = 0.0
+        survivor_input = np.zeros((n_steps, n_states), dtype=np.int64)
+        survivor_prev = np.zeros((n_steps, n_states), dtype=np.int64)
+        merge_margin = np.zeros((n_steps, n_states), dtype=np.float64)
+
+        predecessors: list[list[tuple[int, int]]] = [
+            [] for _ in range(n_states)
+        ]
+        for state in range(n_states):
+            for bit in (0, 1):
+                predecessors[self._next_state[state, bit]].append(
+                    (state, bit)
+                )
+
+        for t in range(n_steps):
+            new_metrics = np.full(n_states, neg_inf)
+            for state in range(n_states):
+                best, second = neg_inf, neg_inf
+                best_prev, best_bit = 0, 0
+                for prev, bit in predecessors[state]:
+                    if metrics[prev] == neg_inf:
+                        continue
+                    branch = float(
+                        antipodal[prev, bit] @ step_llrs[t]
+                    )
+                    candidate = metrics[prev] + branch
+                    if candidate > best:
+                        second = best
+                        best = candidate
+                        best_prev, best_bit = prev, bit
+                    elif candidate > second:
+                        second = candidate
+                new_metrics[state] = best
+                survivor_prev[t, state] = best_prev
+                survivor_input[t, state] = best_bit
+                merge_margin[t, state] = (
+                    best - second if second != neg_inf else np.inf
+                )
+            metrics = new_metrics
+
+        # Traceback from the zero state (terminated trellis).
+        state = 0
+        decoded = np.zeros(n_steps, dtype=np.uint8)
+        margins = np.zeros(n_steps, dtype=np.float64)
+        for t in range(n_steps - 1, -1, -1):
+            decoded[t] = survivor_input[t, state]
+            margins[t] = merge_margin[t, state]
+            state = survivor_prev[t, state]
+
+        # Simplified SOVA: a bit's reliability is the smallest merge
+        # margin within the update window ahead of it — a weak merge
+        # downstream could have flipped this decision.
+        reliabilities = np.empty(n_steps, dtype=np.float64)
+        for t in range(n_steps):
+            hi = min(n_steps, t + self._window)
+            reliabilities[t] = margins[t:hi].min()
+        hints = -reliabilities
+
+        return SovaResult(
+            bits=decoded[: n_steps - memory],
+            hints=hints[: n_steps - memory],
+        )
+
+    def decode_hard(self, bits: np.ndarray) -> SovaResult:
+        """Decode hard coded bits (fixed-confidence LLRs)."""
+        return self.decode(self.llrs_from_hard(bits))

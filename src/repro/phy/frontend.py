@@ -1,0 +1,193 @@
+"""Waveform receiver front end: sync detection plus chip extraction.
+
+Ties the waveform path together for the link layer: detect preamble or
+postamble waveforms in a capture window (with phase estimation from the
+correlation peak), then extract matched-filter soft chips anywhere in
+the frame relative to the detected anchor — including *backwards*, which
+is what postamble rollback means at waveform level.
+
+All frame fields in this library are whole codewords (32 chips), so
+chip offsets relative to an anchor are always even and the O-QPSK I/Q
+rail parity is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.codebook import Codebook
+from repro.phy.demodulation import MskDemodulator
+from repro.phy.modulation import MskModulator
+from repro.phy.sync import sync_field_symbols
+from repro.utils.bitops import pack_bits_to_uint32
+
+
+@dataclass(frozen=True)
+class SyncDetection:
+    """A detected sync field in a capture window.
+
+    ``sample_offset`` is where the field's first chip pulse starts;
+    ``phase`` is the carrier phase estimated from the correlation peak
+    (radians); ``score`` is the normalised correlation in [0, 1].
+    """
+
+    kind: str
+    sample_offset: int
+    phase: float
+    score: float
+
+
+class ReceiverFrontend:
+    """Detect sync fields and extract soft chips from a capture.
+
+    Parameters
+    ----------
+    codebook:
+        The DSSS codebook (defines sync chip patterns and decoding).
+    sps:
+        Samples per chip; must match the transmitter's modulator.
+    threshold:
+        Normalised-correlation detection threshold for both sync kinds.
+    """
+
+    def __init__(
+        self,
+        codebook: Codebook,
+        sps: int = 4,
+        threshold: float = 0.70,
+    ) -> None:
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self._codebook = codebook
+        self._sps = int(sps)
+        self._threshold = float(threshold)
+        self._demod = MskDemodulator(sps)
+        modulator = MskModulator(sps=sps)
+        self._refs = {}
+        for kind in ("preamble", "postamble"):
+            symbols = sync_field_symbols(kind)
+            self._refs[kind] = modulator.modulate_symbols(symbols, codebook)
+
+    @property
+    def codebook(self) -> Codebook:
+        """The codebook used for decoding."""
+        return self._codebook
+
+    @property
+    def sps(self) -> int:
+        """Samples per chip."""
+        return self._sps
+
+    def sync_pattern_chips(self, kind: str) -> int:
+        """Length of a sync field in chips (including the delimiter)."""
+        return sync_field_symbols(kind).size * self._codebook.chips_per_symbol
+
+    # -- detection -----------------------------------------------------------
+
+    def correlation(self, samples: np.ndarray, kind: str) -> np.ndarray:
+        """Normalised sync correlation magnitude at every sample offset."""
+        ref = self._refs[kind]
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.size < ref.size:
+            return np.zeros(0, dtype=np.float64)
+        raw = np.correlate(samples, ref, mode="valid")
+        energy = np.concatenate([[0.0], np.cumsum(np.abs(samples) ** 2)])
+        win = energy[ref.size :] - energy[: -ref.size]
+        denom = np.sqrt(win) * np.linalg.norm(ref)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            corr = np.where(denom > 0, np.abs(raw) / denom, 0.0)
+        return corr
+
+    def detect(self, samples: np.ndarray, kind: str) -> list[SyncDetection]:
+        """All detections of ``kind`` in the capture, by correlation peak."""
+        ref = self._refs[kind]
+        samples = np.asarray(samples, dtype=np.complex128)
+        corr = self.correlation(samples, kind)
+        above = np.flatnonzero(corr >= self._threshold)
+        if above.size == 0:
+            return []
+        detections: list[SyncDetection] = []
+
+        def _emit(lo: int, hi: int) -> None:
+            segment = corr[lo : hi + 1]
+            peak = int(lo + segment.argmax())
+            window = samples[peak : peak + ref.size]
+            raw = np.dot(window, np.conj(ref))
+            detections.append(
+                SyncDetection(
+                    kind=kind,
+                    sample_offset=peak,
+                    phase=float(np.angle(raw)),
+                    score=float(corr[peak]),
+                )
+            )
+
+        group_start = int(above[0])
+        prev = int(above[0])
+        for idx in above[1:]:
+            idx = int(idx)
+            if idx - prev > ref.size:
+                _emit(group_start, prev)
+                group_start = idx
+            prev = idx
+        _emit(group_start, prev)
+        return detections
+
+    # -- extraction ----------------------------------------------------------
+
+    def soft_chips_at(
+        self,
+        samples: np.ndarray,
+        anchor_sample: int,
+        chip_offset: int,
+        n_chips: int,
+        phase: float = 0.0,
+    ) -> np.ndarray:
+        """Matched-filter soft chips starting ``chip_offset`` chips from
+        the anchor (negative offsets roll back in time).
+
+        ``chip_offset`` must be even so the I/Q rail parity matches the
+        transmitter.  The capture is derotated by ``phase`` first.
+        """
+        if chip_offset % 2 != 0:
+            raise ValueError(
+                f"chip_offset must be even to preserve O-QPSK rail "
+                f"parity, got {chip_offset}"
+            )
+        start = anchor_sample + chip_offset * self._sps
+        if start < 0:
+            raise ValueError(
+                f"requested chips before the capture start (sample {start})"
+            )
+        samples = np.asarray(samples, dtype=np.complex128)
+        if phase != 0.0:
+            samples = samples * np.exp(-1j * phase)
+        return self._demod.demodulate_soft(samples, start, n_chips)
+
+    def decode_symbols_at(
+        self,
+        samples: np.ndarray,
+        anchor_sample: int,
+        symbol_offset: int,
+        n_symbols: int,
+        phase: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Hard-decode ``n_symbols`` codewords relative to the anchor.
+
+        ``symbol_offset`` is in whole codewords (may be negative for
+        rollback).  Returns ``(symbols, hamming_hints)``.
+        """
+        width = self._codebook.chips_per_symbol
+        soft = self.soft_chips_at(
+            samples,
+            anchor_sample,
+            symbol_offset * width,
+            n_symbols * width,
+            phase,
+        )
+        hard = (soft > 0).astype(np.uint8).reshape(n_symbols, width)
+        words = pack_bits_to_uint32(hard)
+        symbols, dists = self._codebook.decode_hard(words)
+        return symbols, dists.astype(np.float64)

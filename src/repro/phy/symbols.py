@@ -1,0 +1,129 @@
+"""The SoftPHY interface: decoded symbols annotated with confidence hints.
+
+This is the paper's central abstraction (§3): the PHY keeps making hard
+decisions, but passes each decision upward together with a *hint*.  The
+library-wide convention is that **lower hints mean higher confidence**
+(Hamming distance is the canonical instance); decoders whose natural
+metric is higher-is-better (soft-decision correlation, matched filter)
+negate their metric so the monotonicity contract of §3.3 holds in one
+direction everywhere.
+
+Higher layers must not interpret hint *values* beyond that ordering —
+they apply a threshold η (possibly adapted online, see
+:mod:`repro.link.adaptive`) to label symbols good or bad.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.phy.spreading import symbols_to_bytes
+
+
+class SyncSource(Enum):
+    """How the receiver synchronised onto a frame."""
+
+    PREAMBLE = "preamble"
+    POSTAMBLE = "postamble"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class SoftSymbol:
+    """A single decoded symbol with its SoftPHY hint.
+
+    ``value`` is the decoded symbol index; ``hint`` is the PHY
+    confidence (lower = more confident).
+    """
+
+    value: int
+    hint: float
+
+    def is_good(self, eta: float) -> bool:
+        """Apply the threshold rule of paper §3.2."""
+        return self.hint <= eta
+
+
+@dataclass
+class SoftPacket:
+    """A decoded frame as delivered by the SoftPHY interface.
+
+    Array-oriented for performance: ``symbols[i]`` and ``hints[i]``
+    describe the i-th decoded codeword of the frame body (header +
+    payload + trailer region, depending on the producer).  Metadata
+    records how the frame was acquired and whether structural fields
+    verified.
+    """
+
+    symbols: np.ndarray
+    hints: np.ndarray
+    sync_source: SyncSource = SyncSource.PREAMBLE
+    source: int | None = None
+    dest: int | None = None
+    header_ok: bool = True
+    trailer_ok: bool = False
+    rx_time: float = 0.0
+    link: tuple[int, int] | None = None
+    truth: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.symbols = np.asarray(self.symbols, dtype=np.int64)
+        self.hints = np.asarray(self.hints, dtype=np.float64)
+        if self.symbols.shape != self.hints.shape:
+            raise ValueError(
+                f"symbols shape {self.symbols.shape} != hints shape "
+                f"{self.hints.shape}"
+            )
+        if self.truth is not None:
+            self.truth = np.asarray(self.truth, dtype=np.int64)
+            if self.truth.shape != self.symbols.shape:
+                raise ValueError(
+                    "truth must have the same shape as symbols"
+                )
+
+    def __len__(self) -> int:
+        return int(self.symbols.size)
+
+    @property
+    def n_symbols(self) -> int:
+        """Number of decoded codewords in the frame."""
+        return int(self.symbols.size)
+
+    def good_mask(self, eta: float) -> np.ndarray:
+        """Boolean mask of symbols labelled good at threshold ``eta``."""
+        return self.hints <= eta
+
+    def correct_mask(self) -> np.ndarray:
+        """Boolean mask of symbols that actually decoded correctly.
+
+        Requires ground truth (available in simulation); raises
+        otherwise, since a real receiver cannot know this.
+        """
+        if self.truth is None:
+            raise ValueError("no ground truth attached to this SoftPacket")
+        return self.symbols == self.truth
+
+    def to_soft_symbols(self) -> list[SoftSymbol]:
+        """Materialise per-symbol objects (convenience, not the fast path)."""
+        return [
+            SoftSymbol(int(v), float(h))
+            for v, h in zip(self.symbols, self.hints)
+        ]
+
+    def payload_bytes(self, bits_per_symbol: int = 4) -> bytes:
+        """Reassemble the decoded symbols into bytes (low nibble first)."""
+        n = self.symbols.size - self.symbols.size % (8 // bits_per_symbol)
+        return symbols_to_bytes(self.symbols[:n], bits_per_symbol)
+
+    # -- hint statistics (used by the experiment harness) -------------------
+
+    def miss_mask(self, eta: float) -> np.ndarray:
+        """Incorrect symbols labelled good — the "misses" of §7.4.1."""
+        return self.good_mask(eta) & ~self.correct_mask()
+
+    def false_alarm_mask(self, eta: float) -> np.ndarray:
+        """Correct symbols labelled bad — the "false alarms" of §7.4.2."""
+        return ~self.good_mask(eta) & self.correct_mask()

@@ -1,0 +1,196 @@
+"""Frame synchronisation: preamble and postamble detection (paper §4).
+
+The preamble follows 802.15.4: eight zero symbols then the start-frame
+delimiter 0xA7.  PPR appends a *postamble* — a distinct well-known
+sequence (eight 15-symbols then the end-frame delimiter 0x7A) — so a
+receiver that missed the preamble can lock late and roll back through
+its sample buffer (the Fig. 5 scenario).
+
+:class:`CorrelationSynchronizer` detects sync fields by normalised
+correlation in the chip domain; :class:`RollbackBuffer` is the circular
+sample store that makes rolling back possible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.codebook import Codebook
+
+# 802.15.4 SHR: 8 zero symbols, then SFD byte 0xA7 (low nibble first).
+PREAMBLE_SYMBOLS = tuple([0] * 8)
+SFD_SYMBOLS = (7, 10)
+# PPR postamble: mirrored structure, distinct content (§4: "a well-known
+# sequence ... that uniquely identifies it as the postamble").
+POSTAMBLE_SYMBOLS = tuple([15] * 8)
+EFD_SYMBOLS = (10, 7)
+
+
+def sync_field_symbols(kind: str) -> np.ndarray:
+    """Symbol sequence of a sync field: ``"preamble"`` or ``"postamble"``.
+
+    The returned sequence includes the delimiter (SFD / EFD).
+    """
+    if kind == "preamble":
+        return np.array(PREAMBLE_SYMBOLS + SFD_SYMBOLS, dtype=np.int64)
+    if kind == "postamble":
+        return np.array(POSTAMBLE_SYMBOLS + EFD_SYMBOLS, dtype=np.int64)
+    raise ValueError(f"kind must be 'preamble' or 'postamble', got {kind!r}")
+
+
+class CorrelationSynchronizer:
+    """Sliding normalised correlation against a known chip pattern.
+
+    Works on soft chips (matched-filter outputs) or hard chips mapped
+    to ±1.  A detection is an offset where the normalised correlation
+    exceeds ``threshold`` and is the local maximum within one pattern
+    length (non-maximum suppression), mirroring a hardware correlator's
+    peak detector.
+    """
+
+    def __init__(
+        self,
+        codebook: Codebook,
+        kind: str,
+        threshold: float = 0.75,
+    ) -> None:
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self._codebook = codebook
+        self._kind = kind
+        self._threshold = float(threshold)
+        chips = codebook.encode(sync_field_symbols(kind))
+        self._pattern = chips.astype(np.float64) * 2.0 - 1.0
+        self._pattern_norm = float(np.linalg.norm(self._pattern))
+
+    @property
+    def kind(self) -> str:
+        """Which sync field this correlator matches."""
+        return self._kind
+
+    @property
+    def pattern_chips(self) -> int:
+        """Length of the sync pattern in chips."""
+        return self._pattern.size
+
+    @property
+    def threshold(self) -> float:
+        """Detection threshold on normalised correlation."""
+        return self._threshold
+
+    def correlate(self, chips: np.ndarray) -> np.ndarray:
+        """Normalised correlation at every alignment (valid mode).
+
+        ``chips`` may be hard 0/1 chips or soft ±1-ish samples; hard
+        chips are mapped to ±1 first.  Output values lie in [-1, 1].
+        """
+        chips = np.asarray(chips, dtype=np.float64)
+        if chips.size < self._pattern.size:
+            return np.zeros(0, dtype=np.float64)
+        if chips.size and chips.min() >= 0.0 and chips.max() <= 1.0:
+            chips = chips * 2.0 - 1.0
+        raw = np.correlate(chips, self._pattern, mode="valid")
+        # Windowed energy of the received chips for normalisation.
+        sq = np.concatenate([[0.0], np.cumsum(chips**2)])
+        win = sq[self._pattern.size :] - sq[: -self._pattern.size]
+        denom = np.sqrt(win) * self._pattern_norm
+        with np.errstate(divide="ignore", invalid="ignore"):
+            corr = np.where(denom > 0, raw / denom, 0.0)
+        return corr
+
+    def detect(self, chips: np.ndarray) -> list[int]:
+        """Chip offsets where the sync pattern is detected."""
+        corr = self.correlate(chips)
+        above = np.flatnonzero(corr >= self._threshold)
+        if above.size == 0:
+            return []
+        detections: list[int] = []
+        group_start = above[0]
+        prev = above[0]
+        for idx in above[1:]:
+            if idx - prev > self._pattern.size:
+                segment = corr[group_start : prev + 1]
+                detections.append(int(group_start + segment.argmax()))
+                group_start = idx
+            prev = idx
+        segment = corr[group_start : prev + 1]
+        detections.append(int(group_start + segment.argmax()))
+        return detections
+
+
+class RollbackBuffer:
+    """Fixed-capacity circular buffer of received samples (paper §4).
+
+    The receiver appends every incoming sample; on postamble detection
+    it retrieves a window *backwards in time* by absolute sample index.
+    Capacity should cover one maximally-sized packet, matching the
+    paper's implementation.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        self._buf = np.zeros(self._capacity, dtype=np.complex128)
+        self._written = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained samples."""
+        return self._capacity
+
+    @property
+    def total_written(self) -> int:
+        """Absolute count of samples ever appended."""
+        return self._written
+
+    @property
+    def oldest_available(self) -> int:
+        """Absolute index of the oldest sample still retained."""
+        return max(0, self._written - self._capacity)
+
+    def append(self, samples: np.ndarray) -> None:
+        """Append samples, evicting the oldest beyond capacity."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        n = samples.size
+        if n >= self._capacity:
+            # Keep only the tail, placed so that absolute index i still
+            # lives at buffer position i % capacity.
+            tail_abs_start = self._written + n - self._capacity
+            positions = (
+                tail_abs_start + np.arange(self._capacity)
+            ) % self._capacity
+            self._buf[positions] = samples[n - self._capacity :]
+            self._written += n
+            return
+        pos = self._written % self._capacity
+        first = min(n, self._capacity - pos)
+        self._buf[pos : pos + first] = samples[:first]
+        if first < n:
+            self._buf[: n - first] = samples[first:]
+        self._written += n
+
+    def get_range(self, abs_start: int, count: int) -> np.ndarray:
+        """Samples ``[abs_start, abs_start + count)`` by absolute index.
+
+        Raises ``ValueError`` if any requested sample has been evicted
+        or not yet written — rollback must never fabricate data.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if abs_start < self.oldest_available:
+            raise ValueError(
+                f"samples from {abs_start} already evicted (oldest "
+                f"available: {self.oldest_available})"
+            )
+        if abs_start + count > self._written:
+            raise ValueError(
+                f"samples up to {abs_start + count} not yet written "
+                f"(have {self._written})"
+            )
+        idx = (np.arange(abs_start, abs_start + count)) % self._capacity
+        return self._buf[idx].copy()
+
+    def get_last(self, count: int) -> np.ndarray:
+        """The most recent ``count`` samples."""
+        return self.get_range(self._written - count, count)

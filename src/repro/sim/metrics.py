@@ -1,0 +1,263 @@
+"""Trace post-processing: scheme evaluation and hint statistics.
+
+Receptions are recorded once and evaluated under every delivery scheme
+(the paper's own method, §7.2).  CRC outcomes are evaluated through
+their defining property — a CRC-32-protected region verifies iff all of
+its symbols decoded correctly (undetected-error probability 2^-32 is
+far below anything a simulation of this size can resolve); the real CRC
+arithmetic is exercised by the link/ARQ layers and their tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.link.quality import LinkStats
+from repro.link.schemes import (
+    DeliveryResult,
+    DeliveryScheme,
+    FragmentedCrcScheme,
+    PacketCrcScheme,
+    PprScheme,
+)
+from repro.sim.network import SimulationResult
+
+_BITS_PER_SYMBOL = 4
+_SYMBOLS_PER_BYTE = 2
+
+
+def trace_deliver(
+    scheme: DeliveryScheme,
+    correct: np.ndarray,
+    hints: np.ndarray,
+) -> DeliveryResult:
+    """Evaluate a delivery scheme on a recorded payload trace.
+
+    ``correct`` and ``hints`` cover the wire-payload symbols of one
+    acquired reception.
+    """
+    correct = np.asarray(correct, dtype=bool)
+    hints = np.asarray(hints, dtype=np.float64)
+    if correct.shape != hints.shape:
+        raise ValueError("correct and hints must have the same shape")
+    n_symbols = correct.size
+    payload_bits = n_symbols * _BITS_PER_SYMBOL
+
+    if isinstance(scheme, PprScheme):
+        good = hints <= scheme.eta
+        return DeliveryResult(
+            scheme=scheme.name,
+            payload_bits=payload_bits,
+            delivered_correct_bits=int((good & correct).sum())
+            * _BITS_PER_SYMBOL,
+            delivered_incorrect_bits=int((good & ~correct).sum())
+            * _BITS_PER_SYMBOL,
+            overhead_bits=8 * scheme.wire_overhead_bytes(
+                n_symbols // _SYMBOLS_PER_BYTE
+            ),
+            frame_passed=bool(correct.all()),
+        )
+    if isinstance(scheme, FragmentedCrcScheme):
+        n = min(scheme.n_fragments, n_symbols) if n_symbols else 1
+        bounds = np.linspace(0, n_symbols, n + 1).astype(int)
+        delivered = 0
+        all_ok = True
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi > lo and correct[lo:hi].all():
+                delivered += (hi - lo) * _BITS_PER_SYMBOL
+            elif hi > lo:
+                all_ok = False
+        return DeliveryResult(
+            scheme=scheme.name,
+            payload_bits=payload_bits,
+            delivered_correct_bits=delivered,
+            delivered_incorrect_bits=0,
+            overhead_bits=32 * n,
+            frame_passed=all_ok,
+        )
+    if isinstance(scheme, PacketCrcScheme):
+        passed = bool(correct.all())
+        return DeliveryResult(
+            scheme=scheme.name,
+            payload_bits=payload_bits,
+            delivered_correct_bits=payload_bits if passed else 0,
+            delivered_incorrect_bits=0,
+            overhead_bits=32,
+            frame_passed=passed,
+        )
+    raise TypeError(
+        f"no trace evaluation defined for scheme {type(scheme).__name__}"
+    )
+
+
+@dataclass
+class SchemeEvaluation:
+    """Per-link results for one (scheme, postamble mode) variant."""
+
+    scheme: DeliveryScheme
+    postamble_enabled: bool
+    stats: LinkStats
+    duration_s: float
+
+    @property
+    def label(self) -> str:
+        """Human-readable variant name used by the harness output."""
+        post = "postamble" if self.postamble_enabled else "no postamble"
+        return f"{self.scheme.name}, {post}"
+
+    def delivery_rates(self) -> list[float]:
+        """Per-link equivalent frame delivery rates (§7.2.2)."""
+        return self.stats.delivery_rates()
+
+    def throughputs_kbps(self) -> dict[tuple[int, int], float]:
+        """Per-link end-to-end goodput in Kbit/s (§7.2.3).
+
+        Scheme checksum overhead is charged by derating delivered bits
+        by payload/(payload + overhead) per frame — the airtime a real
+        deployment would spend on the extra CRCs.
+        """
+        out = {}
+        for link in self.stats.links():
+            obs = self.stats[link]
+            if obs.payload_bits_acquired > 0:
+                efficiency = obs.payload_bits_acquired / (
+                    obs.payload_bits_acquired + obs.overhead_bits
+                )
+            else:
+                efficiency = 1.0
+            bits = obs.delivered_correct_bits * efficiency
+            out[link] = bits / self.duration_s / 1e3
+        return out
+
+    def aggregate_throughput_kbps(self) -> float:
+        """Network-wide delivered goodput in Kbit/s."""
+        return float(sum(self.throughputs_kbps().values()))
+
+    def median_delivery_rate(self) -> float:
+        """Median of the per-link delivery-rate distribution."""
+        rates = self.delivery_rates()
+        return float(np.median(rates)) if rates else 0.0
+
+
+def evaluate_schemes(
+    result: SimulationResult,
+    schemes: list[DeliveryScheme],
+    postamble_options: tuple[bool, ...] = (False, True),
+) -> list[SchemeEvaluation]:
+    """Evaluate every (scheme, postamble) variant on recorded traces."""
+    evaluations = []
+    for postamble_enabled in postamble_options:
+        for scheme in schemes:
+            stats = LinkStats()
+            for rec in result.records:
+                payload_bits = (
+                    rec.payload_end - rec.payload_start
+                ) * _BITS_PER_SYMBOL
+                stats[rec.link].record_sent(payload_bits)
+                if not rec.acquired(postamble_enabled):
+                    continue
+                delivery = trace_deliver(
+                    scheme, rec.payload_correct(), rec.payload_hints()
+                )
+                stats[rec.link].record_acquired(delivery)
+            evaluations.append(
+                SchemeEvaluation(
+                    scheme=scheme,
+                    postamble_enabled=postamble_enabled,
+                    stats=stats,
+                    duration_s=result.duration_s,
+                )
+            )
+    return evaluations
+
+
+# -- SoftPHY hint statistics (paper §7.4) -----------------------------------
+
+
+def hint_histograms(
+    result: SimulationResult,
+    max_hint: int = 32,
+    postamble_enabled: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hint histograms over payload codewords of acquired receptions.
+
+    Returns ``(correct_hist, incorrect_hist)`` where index d counts
+    payload codewords with Hamming hint d — the raw material of the
+    paper's Figs. 3 and 15.
+    """
+    correct_hist = np.zeros(max_hint + 1, dtype=np.int64)
+    incorrect_hist = np.zeros(max_hint + 1, dtype=np.int64)
+    for rec in result.records:
+        if not rec.acquired(postamble_enabled):
+            continue
+        hints = rec.payload_hints().astype(int).clip(0, max_hint)
+        correct = rec.payload_correct()
+        np.add.at(correct_hist, hints[correct], 1)
+        np.add.at(incorrect_hist, hints[~correct], 1)
+    return correct_hist, incorrect_hist
+
+
+def miss_run_length_counts(
+    result: SimulationResult,
+    etas: tuple[int, ...] = (1, 2, 3, 4),
+    postamble_enabled: bool = True,
+) -> dict[int, Counter]:
+    """Lengths of contiguous miss runs per threshold (paper Fig. 14).
+
+    A *miss* is an incorrect codeword labelled good (hint <= η); runs
+    are maximal stretches of consecutive misses within a reception.
+    """
+    out: dict[int, Counter] = {eta: Counter() for eta in etas}
+    for rec in result.records:
+        if not rec.acquired(postamble_enabled):
+            continue
+        hints = rec.payload_hints()
+        correct = rec.payload_correct()
+        for eta in etas:
+            miss = (hints <= eta) & ~correct
+            for length in _run_lengths(miss):
+                out[eta][length] += 1
+    return out
+
+
+def _run_lengths(mask: np.ndarray) -> list[int]:
+    """Lengths of maximal True runs in a boolean mask."""
+    mask = np.asarray(mask, dtype=bool)
+    if not mask.any():
+        return []
+    padded = np.concatenate([[False], mask, [False]])
+    change = np.flatnonzero(padded[1:] != padded[:-1])
+    starts, ends = change[::2], change[1::2]
+    return [int(e - s) for s, e in zip(starts, ends)]
+
+
+def false_alarm_rates(
+    correct_hist: np.ndarray, etas: np.ndarray | None = None
+) -> np.ndarray:
+    """P(hint > η | correct) for each η — the Fig. 15 curve."""
+    correct_hist = np.asarray(correct_hist, dtype=np.float64)
+    total = correct_hist.sum()
+    if total == 0:
+        raise ValueError("no correct codewords observed")
+    tail = total - np.cumsum(correct_hist)
+    rates = tail / total
+    if etas is None:
+        return rates
+    return rates[np.asarray(etas, dtype=int)]
+
+
+def miss_rates(
+    incorrect_hist: np.ndarray, etas: np.ndarray | None = None
+) -> np.ndarray:
+    """P(hint <= η | incorrect) for each η — the §7.4.1 miss rate."""
+    incorrect_hist = np.asarray(incorrect_hist, dtype=np.float64)
+    total = incorrect_hist.sum()
+    if total == 0:
+        raise ValueError("no incorrect codewords observed")
+    rates = np.cumsum(incorrect_hist) / total
+    if etas is None:
+        return rates
+    return rates[np.asarray(etas, dtype=int)]

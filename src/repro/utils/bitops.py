@@ -1,0 +1,214 @@
+"""Bit-level primitives used across the PHY, link, and ARQ layers.
+
+The PHY works with *bit arrays* — numpy ``uint8`` arrays whose elements
+are 0 or 1, most-significant bit first within each byte.  The ARQ
+feedback encoder needs *bit-exact* variable-width integer packing, which
+``BitWriter``/``BitReader`` provide.  Chip words (32 chips) are packed
+into ``uint32`` for vectorised XOR/popcount decoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# byte <-> bit-array conversions
+# ---------------------------------------------------------------------------
+
+
+def bytes_to_bits(data: bytes | bytearray | memoryview) -> np.ndarray:
+    """Expand ``data`` into a bit array (uint8 of 0/1), MSB first.
+
+    >>> bytes_to_bits(b"\\x80").tolist()
+    [1, 0, 0, 0, 0, 0, 0, 0]
+    """
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a bit array (MSB first) back into bytes.
+
+    The length of ``bits`` must be a multiple of 8.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError(
+            f"bit array length {bits.size} is not a multiple of 8"
+        )
+    return np.packbits(bits).tobytes()
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Encode ``value`` as a ``width``-bit big-endian bit array.
+
+    Raises ``ValueError`` if the value does not fit.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    out = np.zeros(width, dtype=np.uint8)
+    for i in range(width - 1, -1, -1):
+        out[i] = value & 1
+        value >>= 1
+    return out
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Decode a big-endian bit array into a Python int."""
+    value = 0
+    for b in np.asarray(bits, dtype=np.uint8):
+        value = (value << 1) | int(b)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# chip-word packing: 32 chips <-> uint32, for vectorised decoding
+# ---------------------------------------------------------------------------
+
+
+def pack_bits_to_uint32(bits: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, 32)`` array of 0/1 chips into ``n`` uint32 words.
+
+    Chip 0 lands in the most significant bit, matching ``int_to_bits``.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 2 or bits.shape[1] != 32:
+        raise ValueError(f"expected shape (n, 32), got {bits.shape}")
+    weights = (np.uint64(1) << np.arange(31, -1, -1, dtype=np.uint64))
+    return (bits.astype(np.uint64) @ weights).astype(np.uint32)
+
+
+def unpack_uint32_to_bits(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_bits_to_uint32`: uint32 words -> (n, 32) chips."""
+    words = np.asarray(words, dtype=np.uint32)
+    as_bytes = words[:, None].view(np.uint8)
+    # numpy is little-endian on every platform we support; reverse bytes so
+    # that unpackbits yields MSB-first chip order.
+    as_bytes = as_bytes[:, ::-1]
+    return np.unpackbits(as_bytes, axis=1)
+
+
+_POPCOUNT8 = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+
+def popcount32(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint32 array (vectorised, table-driven)."""
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    b = words.view(np.uint8).reshape(*words.shape, 4)
+    return _POPCOUNT8[b].sum(axis=-1).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# bit-exact streaming writer / reader (ARQ feedback encoding)
+# ---------------------------------------------------------------------------
+
+
+class BitWriter:
+    """Append-only bit stream with variable-width integer fields.
+
+    Used by the PP-ARQ feedback encoder, where every bit of feedback
+    counts against the cost model of Section 5 of the paper.
+    """
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return len(self._bits)
+
+    def write_uint(self, value: int, width: int) -> "BitWriter":
+        """Append ``value`` as a ``width``-bit big-endian unsigned field."""
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if value < 0 or (width < 64 and value >= (1 << width)):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for i in range(width - 1, -1, -1):
+            self._bits.append((value >> i) & 1)
+        return self
+
+    def write_bit(self, bit: int) -> "BitWriter":
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        self._bits.append(bit)
+        return self
+
+    def write_bits(self, bits: np.ndarray) -> "BitWriter":
+        """Append a 0/1 bit array verbatim."""
+        for b in np.asarray(bits, dtype=np.uint8):
+            self._bits.append(int(b))
+        return self
+
+    def write_bytes(self, data: bytes) -> "BitWriter":
+        """Append whole bytes, MSB first."""
+        self.write_bits(bytes_to_bits(data))
+        return self
+
+    def getvalue(self) -> bytes:
+        """Return the stream padded with zero bits to a byte boundary."""
+        bits = np.array(self._bits, dtype=np.uint8)
+        pad = (-bits.size) % 8
+        if pad:
+            bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+        return bits_to_bytes(bits) if bits.size else b""
+
+    def to_bits(self) -> np.ndarray:
+        """Return the raw (unpadded) bit array."""
+        return np.array(self._bits, dtype=np.uint8)
+
+
+class BitReader:
+    """Sequential reader matching :class:`BitWriter`'s layout."""
+
+    def __init__(self, data: bytes | np.ndarray) -> None:
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            self._bits = bytes_to_bits(data)
+        else:
+            self._bits = np.asarray(data, dtype=np.uint8)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return int(self._bits.size - self._pos)
+
+    def read_uint(self, width: int) -> int:
+        """Read a ``width``-bit big-endian unsigned field."""
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if self._pos + width > self._bits.size:
+            raise EOFError(
+                f"requested {width} bits but only {self.remaining} remain"
+            )
+        value = bits_to_int(self._bits[self._pos : self._pos + width])
+        self._pos += width
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read_uint(1)
+
+    def read_bits(self, count: int) -> np.ndarray:
+        """Read ``count`` raw bits as a 0/1 array."""
+        if self._pos + count > self._bits.size:
+            raise EOFError(
+                f"requested {count} bits but only {self.remaining} remain"
+            )
+        out = self._bits[self._pos : self._pos + count].copy()
+        self._pos += count
+        return out
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` whole bytes."""
+        return bits_to_bytes(self.read_bits(count * 8))

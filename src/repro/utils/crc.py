@@ -1,0 +1,142 @@
+"""Table-driven cyclic redundancy checks.
+
+The PPR frame format (paper Fig. 2) carries a whole-packet CRC, the
+fragmented-CRC baseline (paper §3.4) places one CRC per fragment, and
+PP-ARQ feedback (paper §5) checksums good runs.  We implement a generic
+reflected/unreflected CRC engine plus the three concrete algorithms the
+system uses:
+
+* **CRC-32 (IEEE 802.3)** — packet and fragment checksums, as in the
+  paper's "32-bit CRC check" (§7.2).
+* **CRC-16-CCITT** — the 802.15.4 frame check sequence, used by the
+  frame trailer.
+* **CRC-8 (ATM HEC)** — the short run checksum λ_C in PP-ARQ feedback,
+  where feedback bits are precious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _reflect(value: int, width: int) -> int:
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+@dataclass(frozen=True)
+class CrcAlgorithm:
+    """A parameterised CRC (Rocksoft model).
+
+    Attributes mirror the classic Rocksoft parameter set: polynomial,
+    width, initial value, reflect-in/out, and final XOR.
+    """
+
+    name: str
+    width: int
+    poly: int
+    init: int
+    refin: bool
+    refout: bool
+    xorout: int
+    _table: np.ndarray = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_table", self._build_table())
+
+    def _build_table(self) -> np.ndarray:
+        mask = (1 << self.width) - 1
+        top = 1 << (self.width - 1)
+        table = np.zeros(256, dtype=np.uint64)
+        for byte in range(256):
+            if self.refin:
+                byte_val = _reflect(byte, 8)
+            else:
+                byte_val = byte
+            reg = byte_val << (self.width - 8) if self.width >= 8 else byte_val
+            for _ in range(8):
+                if reg & top:
+                    reg = ((reg << 1) ^ self.poly) & mask
+                else:
+                    reg = (reg << 1) & mask
+            if self.refin:
+                reg = _reflect(reg, self.width)
+            table[byte] = reg
+        return table
+
+    def compute(self, data: bytes | bytearray | memoryview) -> int:
+        """Compute the CRC of ``data`` and return it as an int."""
+        mask = (1 << self.width) - 1
+        reg = self.init
+        table = self._table
+        if self.refin:
+            for byte in bytes(data):
+                reg = (reg >> 8) ^ int(table[(reg ^ byte) & 0xFF])
+        else:
+            shift = self.width - 8
+            for byte in bytes(data):
+                reg = ((reg << 8) & mask) ^ int(
+                    table[((reg >> shift) ^ byte) & 0xFF]
+                )
+        if self.refin != self.refout:
+            reg = _reflect(reg, self.width)
+        return (reg ^ self.xorout) & mask
+
+    def compute_bytes(self, data: bytes) -> bytes:
+        """Compute the CRC and return it big-endian, width/8 bytes."""
+        return self.compute(data).to_bytes(self.width // 8, "big")
+
+    def verify(self, data: bytes, checksum: int) -> bool:
+        """True iff ``checksum`` matches the CRC of ``data``."""
+        return self.compute(data) == checksum
+
+
+CRC32_IEEE = CrcAlgorithm(
+    name="CRC-32/IEEE",
+    width=32,
+    poly=0x04C11DB7,
+    init=0xFFFFFFFF,
+    refin=True,
+    refout=True,
+    xorout=0xFFFFFFFF,
+)
+
+CRC16_CCITT = CrcAlgorithm(
+    name="CRC-16/CCITT-FALSE",
+    width=16,
+    poly=0x1021,
+    init=0xFFFF,
+    refin=False,
+    refout=False,
+    xorout=0x0000,
+)
+
+CRC8_ATM = CrcAlgorithm(
+    name="CRC-8/ATM",
+    width=8,
+    poly=0x07,
+    init=0x00,
+    refin=False,
+    refout=False,
+    xorout=0x00,
+)
+
+
+def crc32(data: bytes) -> int:
+    """CRC-32 (IEEE 802.3) of ``data``."""
+    return CRC32_IEEE.compute(data)
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16-CCITT (as used for the 802.15.4 FCS) of ``data``."""
+    return CRC16_CCITT.compute(data)
+
+
+def crc8(data: bytes) -> int:
+    """CRC-8 (ATM HEC polynomial) of ``data``."""
+    return CRC8_ATM.compute(data)

@@ -1,0 +1,39 @@
+"""Uniform argument validation with informative errors.
+
+Small helpers so that every public constructor in the library rejects
+bad parameters the same way (``ValueError`` with the offending name and
+value in the message).
+"""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value`` > 0."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonneg_int(name: str, value) -> int:
+    """Raise unless ``value`` is a non-negative integer; return it as int."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(name: str, value) -> float:
+    """Raise unless 0 <= value <= 1; return it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(name: str, value, low, high) -> None:
+    """Raise unless low <= value <= high (inclusive both ends)."""
+    if not low <= value <= high:
+        raise ValueError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (codebook, a small network simulation) are built
+once per session; anything stochastic takes an explicit seed so test
+failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phy.codebook import ZigbeeCodebook
+from repro.sim.network import NetworkSimulation, SimulationConfig
+
+
+@pytest.fixture(scope="session")
+def codebook() -> ZigbeeCodebook:
+    """The 802.15.4 codebook (immutable, safe to share)."""
+    return ZigbeeCodebook()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_sim_result():
+    """A short heavy-load testbed run shared by simulation tests.
+
+    Heavy load guarantees collisions, partial packets, and postamble
+    recoveries all appear in the records.
+    """
+    config = SimulationConfig(
+        load_bits_per_s_per_node=13800.0,
+        payload_bytes=400,
+        duration_s=10.0,
+        carrier_sense=False,
+        seed=99,
+    )
+    return NetworkSimulation(config).run()

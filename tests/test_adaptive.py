@@ -1,0 +1,93 @@
+"""Tests for adaptive SoftPHY threshold selection (paper §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.link.adaptive import AdaptiveThreshold
+
+
+def _observe_separated(adapt, rng, n=4000, boundary=6):
+    """Correct codewords cluster at low hints, incorrect at high."""
+    correct_hints = rng.poisson(0.5, n).clip(0, boundary - 2)
+    incorrect_hints = rng.integers(boundary + 3, 16, n)
+    adapt.observe(correct_hints, np.ones(n, dtype=bool))
+    adapt.observe(incorrect_hints, np.zeros(n, dtype=bool))
+
+
+class TestThresholdLearning:
+    def test_learns_separating_threshold(self, rng):
+        adapt = AdaptiveThreshold()
+        _observe_separated(adapt, rng, boundary=6)
+        eta = adapt.best_threshold()
+        # Any threshold between the clusters separates; what matters is
+        # that the chosen one actually does.
+        assert adapt.miss_rate(eta) == pytest.approx(0.0, abs=0.01)
+        assert adapt.false_alarm_rate(eta) == pytest.approx(0.0, abs=0.01)
+
+    def test_miss_rate_estimates(self, rng):
+        adapt = AdaptiveThreshold(prior_count=0.0)
+        adapt.observe(np.array([2, 3, 10, 12]), np.zeros(4, dtype=bool))
+        assert adapt.miss_rate(6) == pytest.approx(0.5)
+        assert adapt.miss_rate(1) == pytest.approx(0.0)
+        assert adapt.miss_rate(32) == pytest.approx(1.0)
+
+    def test_false_alarm_estimates(self, rng):
+        adapt = AdaptiveThreshold(prior_count=0.0)
+        adapt.observe(np.array([0, 1, 7, 9]), np.ones(4, dtype=bool))
+        assert adapt.false_alarm_rate(6) == pytest.approx(0.5)
+        assert adapt.false_alarm_rate(9) == pytest.approx(0.0)
+
+    def test_miss_cost_pushes_threshold_down(self, rng):
+        """A higher miss cost must never raise the chosen threshold."""
+        lenient = AdaptiveThreshold(miss_cost=1.0)
+        strict = AdaptiveThreshold(miss_cost=100.0)
+        # Overlapping distributions so the trade-off is real.
+        correct = rng.poisson(2.0, 3000).clip(0, 12)
+        incorrect = rng.poisson(8.0, 3000).clip(0, 20)
+        for adapt in (lenient, strict):
+            adapt.observe(correct, np.ones(3000, dtype=bool))
+            adapt.observe(incorrect, np.zeros(3000, dtype=bool))
+        assert strict.best_threshold() <= lenient.best_threshold()
+
+    def test_observations_counter(self):
+        adapt = AdaptiveThreshold()
+        assert adapt.observations == 0
+        adapt.observe(np.array([1, 2]), np.array([True, False]))
+        assert adapt.observations == 2
+
+    def test_hints_clipped_to_range(self):
+        adapt = AdaptiveThreshold(max_hint=8)
+        adapt.observe(np.array([100.0]), np.array([False]))
+        assert adapt.miss_rate(8) > 0  # landed in the top bin
+
+    def test_expected_costs_shape(self):
+        adapt = AdaptiveThreshold(max_hint=16)
+        assert adapt.expected_costs().shape == (17,)
+
+    def test_shape_mismatch_rejected(self):
+        adapt = AdaptiveThreshold()
+        with pytest.raises(ValueError):
+            adapt.observe(np.zeros(3), np.zeros(2, dtype=bool))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(max_hint=0)
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(miss_cost=0)
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(prior_count=-1)
+
+    def test_monotonicity_contract_only(self, rng):
+        """The learner never inspects hint *semantics*: shifting every
+        hint by a constant shifts the threshold accordingly."""
+        a = AdaptiveThreshold(max_hint=32)
+        b = AdaptiveThreshold(max_hint=32)
+        correct = rng.poisson(1.0, 2000).clip(0, 10)
+        incorrect = rng.poisson(9.0, 2000).clip(0, 20)
+        a.observe(correct, np.ones(2000, dtype=bool))
+        a.observe(incorrect, np.zeros(2000, dtype=bool))
+        b.observe(correct + 5, np.ones(2000, dtype=bool))
+        b.observe(incorrect + 5, np.zeros(2000, dtype=bool))
+        assert b.best_threshold() == pytest.approx(
+            a.best_threshold() + 5, abs=1
+        )

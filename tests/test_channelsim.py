@@ -1,0 +1,135 @@
+"""Tests for the complex-baseband channel simulator."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channelsim import (
+    TransmissionInstance,
+    add_awgn,
+    awgn_collision_channel,
+    fractional_delay,
+    mix_transmissions,
+)
+
+
+class TestMixTransmissions:
+    def test_single_at_offset(self):
+        wave = np.ones(4, dtype=complex)
+        out = mix_transmissions(
+            [TransmissionInstance(samples=wave, offset=3)]
+        )
+        assert out.size == 7
+        assert out[:3] == pytest.approx(np.zeros(3))
+        assert out[3:] == pytest.approx(wave)
+
+    def test_superposition_adds(self):
+        wave = np.ones(4, dtype=complex)
+        out = mix_transmissions(
+            [
+                TransmissionInstance(samples=wave, offset=0),
+                TransmissionInstance(samples=wave, offset=2),
+            ]
+        )
+        assert out.tolist() == [1, 1, 2, 2, 1, 1]
+
+    def test_gain_applied(self):
+        wave = np.ones(2, dtype=complex)
+        out = mix_transmissions(
+            [TransmissionInstance(samples=wave, offset=0, gain=0.5)]
+        )
+        assert out == pytest.approx(0.5 * wave)
+
+    def test_window_truncates(self):
+        wave = np.ones(10, dtype=complex)
+        out = mix_transmissions(
+            [TransmissionInstance(samples=wave, offset=5)], window_len=8
+        )
+        assert out.size == 8
+        assert out[5:] == pytest.approx(np.ones(3))
+
+    def test_phase_rotation(self):
+        wave = np.ones(4, dtype=complex)
+        out = mix_transmissions(
+            [
+                TransmissionInstance(
+                    samples=wave, offset=0, phase=np.pi / 2
+                )
+            ]
+        )
+        assert out == pytest.approx(1j * wave)
+
+    def test_cfo_rotates_progressively(self):
+        wave = np.ones(8, dtype=complex)
+        out = mix_transmissions(
+            [TransmissionInstance(samples=wave, offset=0, cfo=0.25)]
+        )
+        # 0.25 cycles/sample: sample 2 rotated by pi.
+        assert out[2] == pytest.approx(-1.0)
+
+    def test_empty_without_window_rejected(self):
+        with pytest.raises(ValueError):
+            mix_transmissions([])
+
+    def test_invalid_instances_rejected(self):
+        with pytest.raises(ValueError):
+            TransmissionInstance(samples=np.ones(1), offset=-1)
+        with pytest.raises(ValueError):
+            TransmissionInstance(samples=np.ones(1), offset=0, gain=0.0)
+
+
+class TestAwgn:
+    def test_zero_noise_identity(self, rng):
+        wave = rng.normal(size=50) + 1j * rng.normal(size=50)
+        assert add_awgn(wave, 0.0, rng) == pytest.approx(wave)
+
+    def test_noise_power_empirical(self, rng):
+        wave = np.zeros(200_000, dtype=complex)
+        noisy = add_awgn(wave, 0.5, rng)
+        measured = np.mean(np.abs(noisy) ** 2)
+        assert measured == pytest.approx(0.5, rel=0.02)
+
+    def test_negative_power_rejected(self, rng):
+        with pytest.raises(ValueError):
+            add_awgn(np.zeros(1, dtype=complex), -0.1, rng)
+
+    def test_deterministic_under_seed(self):
+        wave = np.zeros(10, dtype=complex)
+        assert add_awgn(wave, 1.0, 3) == pytest.approx(add_awgn(wave, 1.0, 3))
+
+    def test_collision_channel_combines(self, rng):
+        wave = np.ones(4, dtype=complex)
+        out = awgn_collision_channel(
+            [TransmissionInstance(samples=wave, offset=0)],
+            noise_power=0.0,
+            rng=rng,
+        )
+        assert out == pytest.approx(wave)
+
+
+class TestFractionalDelay:
+    def test_integer_delay_shifts(self):
+        wave = np.array([1.0, 2.0, 3.0], dtype=complex)
+        out = fractional_delay(wave, 2.0)
+        assert out[:2] == pytest.approx(np.zeros(2))
+        assert out[2:5] == pytest.approx(wave)
+
+    def test_half_sample_interpolates(self):
+        wave = np.array([0.0, 1.0, 0.0], dtype=complex)
+        out = fractional_delay(wave, 0.5)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(0.5)
+
+    def test_energy_roughly_preserved_for_smooth_signal(self, rng):
+        # Linear interpolation preserves energy only for signals smooth
+        # at the sample scale (oversampled waveforms), not white noise.
+        from repro.phy.modulation import MskModulator
+
+        wave = MskModulator(sps=8).modulate_chips(rng.integers(0, 2, 50))
+        out = fractional_delay(wave, 3.25)
+        assert np.sum(np.abs(out) ** 2) == pytest.approx(
+            np.sum(np.abs(wave) ** 2), rel=0.05
+        )
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            fractional_delay(np.zeros(1, dtype=complex), -1.0)

@@ -1,0 +1,133 @@
+"""Tests for the chip-level channel and its error-probability models."""
+
+import numpy as np
+import pytest
+
+from repro.phy.chipchannel import (
+    chip_error_probability,
+    chip_error_probability_interference,
+    sinr_timeline_to_chip_probs,
+    transmit_chipwords,
+)
+from repro.utils.bitops import popcount32
+
+
+class TestChipErrorProbability:
+    def test_zero_sinr_is_coin_flip(self):
+        assert chip_error_probability(0.0) == pytest.approx(0.5)
+
+    def test_high_sinr_is_negligible(self):
+        assert chip_error_probability(100.0) < 1e-10
+
+    def test_monotone_decreasing(self):
+        sinrs = np.logspace(-2, 2, 30)
+        p = chip_error_probability(sinrs)
+        assert np.all(np.diff(p) < 0)
+
+    def test_known_value(self):
+        # p = Q(sqrt(2)) at SINR = 1 (0 dB) ~ 0.0786.
+        assert chip_error_probability(1.0) == pytest.approx(0.0786, abs=2e-3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chip_error_probability(-0.1)
+
+
+class TestInterferenceModel:
+    def test_reduces_to_noise_only_without_interference(self):
+        snr = np.array([0.5, 1.0, 10.0])
+        a = chip_error_probability_interference(snr, np.zeros(3))
+        b = chip_error_probability(snr)
+        assert a == pytest.approx(b)
+
+    def test_equal_power_collision_approaches_quarter(self):
+        # At high SNR with I = S, half the interferer chips oppose and
+        # cancel the signal entirely: p -> 0.25.
+        p = chip_error_probability_interference(1e4, 1.0)
+        assert p == pytest.approx(0.25, abs=0.01)
+
+    def test_dominant_interferer_approaches_half(self):
+        p = chip_error_probability_interference(1e4, 100.0)
+        assert p == pytest.approx(0.5, abs=0.01)
+
+    def test_weak_interferer_captured_through(self):
+        # Interferer 10 dB down at 20 dB SNR: essentially error-free.
+        p = chip_error_probability_interference(100.0, 0.1)
+        assert p < 1e-3
+
+    def test_infinite_interference_is_half(self):
+        p = chip_error_probability_interference(
+            np.array([100.0]), np.array([np.inf])
+        )
+        assert p[0] == pytest.approx(0.5)
+
+    def test_monotone_in_interference(self):
+        isrs = np.linspace(0, 4, 40)
+        p = chip_error_probability_interference(
+            np.full(40, 100.0), isrs
+        )
+        assert np.all(np.diff(p) >= -1e-12)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            chip_error_probability_interference(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            chip_error_probability_interference(1.0, -1.0)
+
+
+class TestTransmitChipwords:
+    def test_p_zero_identity(self, codebook, rng):
+        words = codebook.encode_words(rng.integers(0, 16, 100))
+        assert np.array_equal(transmit_chipwords(words, 0.0, rng), words)
+
+    def test_p_one_inverts_everything(self, codebook, rng):
+        words = codebook.encode_words(rng.integers(0, 16, 100))
+        received = transmit_chipwords(words, 1.0, rng)
+        assert np.array_equal(received, words ^ np.uint32(0xFFFFFFFF))
+
+    def test_empirical_flip_rate(self, rng):
+        words = np.zeros(2000, dtype=np.uint32)
+        received = transmit_chipwords(words, 0.1, rng)
+        rate = popcount32(received).sum() / (2000 * 32)
+        assert rate == pytest.approx(0.1, abs=0.01)
+
+    def test_per_symbol_probabilities(self, rng):
+        words = np.zeros(1000, dtype=np.uint32)
+        p = np.concatenate([np.zeros(500), np.full(500, 0.5)])
+        received = transmit_chipwords(words, p, rng)
+        assert popcount32(received[:500]).sum() == 0
+        noisy_rate = popcount32(received[500:]).sum() / (500 * 32)
+        assert noisy_rate == pytest.approx(0.5, abs=0.03)
+
+    def test_deterministic_under_seed(self, codebook):
+        words = codebook.encode_words(np.arange(16))
+        a = transmit_chipwords(words, 0.2, 77)
+        b = transmit_chipwords(words, 0.2, 77)
+        assert np.array_equal(a, b)
+
+    def test_empty_input(self, rng):
+        out = transmit_chipwords(np.zeros(0, dtype=np.uint32), 0.3, rng)
+        assert out.size == 0
+
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(ValueError):
+            transmit_chipwords(np.zeros(1, dtype=np.uint32), 1.5, rng)
+
+
+class TestSinrTimeline:
+    def test_interference_raises_error_probability(self):
+        probs = sinr_timeline_to_chip_probs(
+            signal_mw=1.0,
+            noise_mw=0.01,
+            interference_mw=np.array([0.0, 1.0, 10.0]),
+        )
+        assert np.all(np.diff(probs) > 0)
+        assert probs[0] < 1e-10
+
+    def test_invalid_powers_rejected(self):
+        with pytest.raises(ValueError):
+            sinr_timeline_to_chip_probs(0.0, 1.0, np.zeros(1))
+        with pytest.raises(ValueError):
+            sinr_timeline_to_chip_probs(1.0, 0.0, np.zeros(1))
+        with pytest.raises(ValueError):
+            sinr_timeline_to_chip_probs(1.0, 1.0, np.array([-1.0]))

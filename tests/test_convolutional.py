@@ -1,0 +1,156 @@
+"""Tests for convolutional coding and SOVA hints (paper §3.1, §8.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.convolutional import (
+    ConvolutionalCode,
+    SovaDecoder,
+)
+
+
+class TestEncoder:
+    def test_rate_and_termination(self):
+        code = ConvolutionalCode()
+        coded = code.encode(np.zeros(10, dtype=np.int64))
+        # 10 data bits + 2 flush bits, rate 1/2.
+        assert coded.size == 24
+
+    def test_known_sequence_75(self):
+        """The (7,5) code's response to a single 1 is the generator
+        impulse response 11 10 11."""
+        code = ConvolutionalCode()
+        coded = code.encode(np.array([1]), terminate=True)
+        assert coded.tolist() == [1, 1, 1, 0, 1, 1]
+
+    def test_zero_input_gives_zero_output(self):
+        code = ConvolutionalCode()
+        assert not code.encode(np.zeros(8, dtype=np.int64)).any()
+
+    def test_linear_over_xor(self, rng):
+        code = ConvolutionalCode()
+        a = rng.integers(0, 2, 30)
+        b = rng.integers(0, 2, 30)
+        combined = code.encode(a ^ b)
+        assert np.array_equal(
+            combined, code.encode(a) ^ code.encode(b)
+        )
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(constraint=1)
+        with pytest.raises(ValueError):
+            ConvolutionalCode(generators=(0o7,))
+        with pytest.raises(ValueError):
+            ConvolutionalCode(generators=(0o7, 0o777))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode().encode(np.array([2]))
+
+    def test_transitions_consistent_with_encode(self):
+        code = ConvolutionalCode()
+        next_state, outputs = code.transitions()
+        # Walk the tables for a known input and compare to encode().
+        bits = np.array([1, 0, 1, 1, 0], dtype=np.int64)
+        state = 0
+        via_tables = []
+        for b in np.concatenate([bits, [0, 0]]):
+            via_tables.extend(outputs[state, b].tolist())
+            state = next_state[state, b]
+        assert via_tables == code.encode(bits).tolist()
+        assert state == 0  # terminated
+
+
+class TestSovaDecoder:
+    def test_clean_roundtrip(self, rng):
+        code = ConvolutionalCode()
+        decoder = SovaDecoder(code)
+        bits = rng.integers(0, 2, 60)
+        result = decoder.decode_hard(code.encode(bits))
+        assert np.array_equal(result.bits, bits)
+
+    def test_corrects_isolated_errors(self, rng):
+        """Free distance 5: any two isolated channel errors correct."""
+        code = ConvolutionalCode()
+        decoder = SovaDecoder(code)
+        bits = rng.integers(0, 2, 60)
+        coded = code.encode(bits)
+        coded[10] ^= 1
+        coded[60] ^= 1
+        result = decoder.decode_hard(coded)
+        assert np.array_equal(result.bits, bits)
+
+    def test_hints_lower_near_errors(self, rng):
+        """SOVA reliability drops around channel errors: the mean hint
+        (lower = confident) near the corrupted region must exceed the
+        mean hint far from it."""
+        code = ConvolutionalCode()
+        decoder = SovaDecoder(code)
+        bits = rng.integers(0, 2, 200)
+        coded = code.encode(bits)
+        # Burst of errors in coded bits 100..120 (data region ~50..60).
+        coded[100:120] ^= 1
+        result = decoder.decode_hard(coded)
+        near = result.hints[45:65].mean()
+        far = result.hints[120:180].mean()
+        assert near > far
+
+    def test_soft_inputs_beat_hard_inputs(self, rng):
+        """Soft-decision Viterbi outperforms hard-sliced input at the
+        same noise level (the classic SDD gain, paper §3.1)."""
+        code = ConvolutionalCode()
+        decoder = SovaDecoder(code)
+        errors_soft = 0
+        errors_hard = 0
+        for trial in range(20):
+            bits = rng.integers(0, 2, 100)
+            coded = code.encode(bits)
+            clean = 1.0 - 2.0 * coded.astype(float)
+            noisy = clean + rng.normal(0, 1.0, clean.size)
+            soft = decoder.decode(noisy)
+            hard = decoder.decode_hard((noisy < 0).astype(np.int64))
+            errors_soft += int((soft.bits != bits).sum())
+            errors_hard += int((hard.bits != bits).sum())
+        assert errors_soft < errors_hard
+
+    def test_hint_threshold_separates_errors(self, rng):
+        """Used as SoftPHY hints, SOVA outputs separate correct from
+        incorrect decoded bits on a noisy channel."""
+        code = ConvolutionalCode()
+        decoder = SovaDecoder(code)
+        all_hints = []
+        all_correct = []
+        for trial in range(10):
+            bits = rng.integers(0, 2, 150)
+            coded = code.encode(bits)
+            clean = 1.0 - 2.0 * coded.astype(float)
+            noisy = clean + rng.normal(0, 1.1, clean.size)
+            result = decoder.decode(noisy)
+            all_hints.append(result.hints)
+            all_correct.append(result.bits == bits)
+        hints = np.concatenate(all_hints)
+        correct = np.concatenate(all_correct)
+        if (~correct).any():
+            assert hints[~correct].mean() > hints[correct].mean()
+
+    def test_invalid_inputs(self):
+        decoder = SovaDecoder()
+        with pytest.raises(ValueError, match="multiple"):
+            decoder.decode(np.zeros(5))
+        with pytest.raises(ValueError, match="too short"):
+            decoder.decode(np.zeros(2))
+        with pytest.raises(ValueError):
+            SovaDecoder(update_window=0)
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=80))
+    @settings(max_examples=25, deadline=None)
+    def test_clean_roundtrip_property(self, bit_list):
+        code = ConvolutionalCode()
+        decoder = SovaDecoder(code)
+        bits = np.array(bit_list, dtype=np.int64)
+        result = decoder.decode_hard(code.encode(bits))
+        assert np.array_equal(result.bits, bits)
+        # Every clean decision is maximally confident (negative hint).
+        assert np.all(result.hints < 0)

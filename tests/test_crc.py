@@ -1,0 +1,84 @@
+"""Tests for repro.utils.crc against published check values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.crc import (
+    CRC8_ATM,
+    CRC16_CCITT,
+    CRC32_IEEE,
+    crc8,
+    crc16,
+    crc32,
+)
+
+CHECK_INPUT = b"123456789"
+
+
+class TestKnownVectors:
+    """Rocksoft catalogue check values for the standard input."""
+
+    def test_crc32_ieee(self):
+        assert crc32(CHECK_INPUT) == 0xCBF43926
+
+    def test_crc16_ccitt_false(self):
+        assert crc16(CHECK_INPUT) == 0x29B1
+
+    def test_crc8_atm(self):
+        assert crc8(CHECK_INPUT) == 0xF4
+
+    def test_crc32_empty(self):
+        # CRC-32 of the empty string is 0 (init ^ xorout).
+        assert crc32(b"") == 0
+
+    def test_crc32_matches_zlib(self):
+        import zlib
+
+        for data in (b"", b"a", b"hello world", bytes(range(256))):
+            assert crc32(data) == zlib.crc32(data)
+
+
+class TestProperties:
+    def test_verify_accepts_own_checksum(self):
+        data = b"partial packet recovery"
+        assert CRC32_IEEE.verify(data, CRC32_IEEE.compute(data))
+
+    def test_verify_rejects_wrong_checksum(self):
+        assert not CRC32_IEEE.verify(b"abc", CRC32_IEEE.compute(b"abd"))
+
+    def test_compute_bytes_width(self):
+        assert len(CRC32_IEEE.compute_bytes(b"x")) == 4
+        assert len(CRC16_CCITT.compute_bytes(b"x")) == 2
+        assert len(CRC8_ATM.compute_bytes(b"x")) == 1
+
+    def test_compute_bytes_big_endian(self):
+        value = CRC32_IEEE.compute(CHECK_INPUT)
+        assert CRC32_IEEE.compute_bytes(CHECK_INPUT) == value.to_bytes(
+            4, "big"
+        )
+
+    @given(st.binary(min_size=1, max_size=100), st.integers(0, 799))
+    def test_single_bit_flip_always_detected(self, data, flip):
+        """A CRC detects every single-bit error by construction."""
+        bit = flip % (len(data) * 8)
+        corrupted = bytearray(data)
+        corrupted[bit // 8] ^= 0x80 >> (bit % 8)
+        if bytes(corrupted) != data:
+            assert crc32(bytes(corrupted)) != crc32(data)
+            assert crc16(bytes(corrupted)) != crc16(data)
+            assert crc8(bytes(corrupted)) != crc8(data)
+
+    @given(st.binary(max_size=60))
+    def test_deterministic(self, data):
+        assert crc32(data) == crc32(data)
+
+    def test_different_algorithms_disagree(self):
+        # Not a mathematical necessity but a sanity check that the
+        # three configured algorithms are genuinely distinct.
+        data = b"softphy hints"
+        values = {
+            crc32(data) & 0xFF,
+            crc16(data) & 0xFF,
+            crc8(data),
+        }
+        assert len(values) >= 2

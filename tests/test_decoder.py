@@ -1,0 +1,117 @@
+"""Tests for the three SoftPHY decoder variants."""
+
+import numpy as np
+import pytest
+
+from repro.phy.chipchannel import transmit_chipwords
+from repro.phy.decoder import (
+    HardDecisionDecoder,
+    MatchedFilterHinter,
+    SoftDecisionDecoder,
+    decode_to_packet,
+)
+from repro.phy.symbols import SyncSource
+
+
+class TestHardDecisionDecoder:
+    def test_clean_decode(self, codebook, rng):
+        decoder = HardDecisionDecoder(codebook)
+        symbols = rng.integers(0, 16, 100)
+        result = decoder.decode_words(codebook.encode_words(symbols))
+        assert np.array_equal(result.symbols, symbols)
+        assert np.all(result.hints == 0)
+
+    def test_hints_rise_with_noise(self, codebook, rng):
+        decoder = HardDecisionDecoder(codebook)
+        symbols = rng.integers(0, 16, 500)
+        words = codebook.encode_words(symbols)
+        mean_hints = []
+        for p in (0.01, 0.1, 0.3):
+            received = transmit_chipwords(words, p, rng)
+            mean_hints.append(decoder.decode_words(received).hints.mean())
+        assert mean_hints[0] < mean_hints[1] < mean_hints[2]
+
+    def test_decode_chips_matches_words(self, codebook, rng):
+        decoder = HardDecisionDecoder(codebook)
+        symbols = rng.integers(0, 16, 20)
+        chips = codebook.encode(symbols)
+        by_chips = decoder.decode_chips(chips)
+        by_words = decoder.decode_words(codebook.encode_words(symbols))
+        assert np.array_equal(by_chips.symbols, by_words.symbols)
+
+    def test_decode_chips_rejects_partial_word(self, codebook):
+        decoder = HardDecisionDecoder(codebook)
+        with pytest.raises(ValueError, match="multiple"):
+            decoder.decode_chips(np.zeros(33, dtype=np.uint8))
+
+
+class TestSoftDecisionDecoder:
+    def test_clean_decode(self, codebook, rng):
+        decoder = SoftDecisionDecoder(codebook)
+        symbols = rng.integers(0, 16, 100)
+        samples = codebook.encode(symbols).reshape(-1, 32) * 2.0 - 1.0
+        result = decoder.decode_samples(samples)
+        assert np.array_equal(result.symbols, symbols)
+
+    def test_hint_grows_with_noise(self, codebook, rng):
+        decoder = SoftDecisionDecoder(codebook)
+        symbols = rng.integers(0, 16, 300)
+        clean = codebook.encode(symbols).reshape(-1, 32) * 2.0 - 1.0
+        low = decoder.decode_samples(clean + rng.normal(0, 0.2, clean.shape))
+        high = decoder.decode_samples(clean + rng.normal(0, 1.0, clean.shape))
+        assert low.hints.mean() < high.hints.mean()
+
+    def test_sdd_beats_hdd_in_gaussian_noise(self, codebook, rng):
+        """The classic 2-3 dB soft-decision gain (paper §3.1 footnote)."""
+        symbols = rng.integers(0, 16, 3000)
+        clean = codebook.encode(symbols).reshape(-1, 32) * 2.0 - 1.0
+        noisy = clean + rng.normal(0, 1.35, clean.shape)
+        sdd = SoftDecisionDecoder(codebook).decode_samples(noisy)
+        hard_chips = (noisy > 0).astype(np.uint8)
+        hdd = HardDecisionDecoder(codebook).decode_chips(
+            hard_chips.reshape(-1)
+        )
+        sdd_errors = (sdd.symbols != symbols).mean()
+        hdd_errors = (hdd.symbols != symbols).mean()
+        assert sdd_errors < hdd_errors
+
+    def test_wrong_width_rejected(self, codebook):
+        with pytest.raises(ValueError):
+            SoftDecisionDecoder(codebook).decode_samples(np.zeros((2, 8)))
+
+
+class TestMatchedFilterHinter:
+    def test_full_amplitude_zero_hint(self):
+        hinter = MatchedFilterHinter(nominal_amplitude=1.0, group=4)
+        hints = hinter.hints_from_samples(np.array([1.0, -1.0, 1.0, -1.0]))
+        assert hints[0] == pytest.approx(0.0)
+
+    def test_weak_signal_positive_hint(self):
+        hinter = MatchedFilterHinter(nominal_amplitude=1.0, group=4)
+        hints = hinter.hints_from_samples(np.full(4, 0.25))
+        assert hints[0] == pytest.approx(0.75)
+
+    def test_group_mismatch_rejected(self):
+        hinter = MatchedFilterHinter(group=8)
+        with pytest.raises(ValueError):
+            hinter.hints_from_samples(np.zeros(12))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MatchedFilterHinter(nominal_amplitude=0.0)
+        with pytest.raises(ValueError):
+            MatchedFilterHinter(group=0)
+
+
+class TestDecodeToPacket:
+    def test_attaches_truth_and_sync(self, codebook, rng):
+        decoder = HardDecisionDecoder(codebook)
+        symbols = rng.integers(0, 16, 30)
+        packet = decode_to_packet(
+            decoder,
+            codebook.encode_words(symbols),
+            truth_symbols=symbols,
+            sync_source=SyncSource.POSTAMBLE,
+        )
+        assert packet.sync_source is SyncSource.POSTAMBLE
+        assert packet.correct_mask().all()

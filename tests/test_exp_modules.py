@@ -1,0 +1,99 @@
+"""Structural unit tests for every experiment module at tiny scale.
+
+The benchmark suite runs these at full duration with shape gating;
+here each module's pipeline is exercised quickly: the result object is
+well-formed, the rendered output mentions the right series, and the
+series carry the documented keys.  (Statistics at 3 simulated seconds
+are too thin to assert shapes.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    exp_delivery,
+    exp_fig3,
+    exp_fig11,
+    exp_fig12,
+    exp_fig14,
+    exp_fig15,
+    exp_table2,
+)
+from repro.experiments.common import CapacityRuns
+
+
+@pytest.fixture(scope="module")
+def tiny_runs():
+    return CapacityRuns(duration_s=3.0, seed=11)
+
+
+class TestFig3Module:
+    def test_structure(self, tiny_runs):
+        result = exp_fig3.run(tiny_runs)
+        assert result.experiment_id == "fig3"
+        assert "stats" in result.series
+        assert len(result.series["stats"]) == 3
+        for label, (c_le1, inc_le6) in result.series["stats"].items():
+            assert 0 <= c_le1 <= 1
+            assert 0 <= inc_le6 <= 1
+        assert "Hamming distance" in result.rendered
+
+
+class TestDeliveryModules:
+    def test_fig8_series_cover_six_variants(self, tiny_runs):
+        result = exp_delivery.run_fig8(tiny_runs)
+        assert len(result.series) == 6
+        for label, rates in result.series.items():
+            assert isinstance(rates, np.ndarray)
+            if rates.size:
+                assert rates.min() >= 0 and rates.max() <= 1
+
+    def test_fig9_has_carrier_sense_checks(self, tiny_runs):
+        result = exp_delivery.run_fig9(tiny_runs)
+        names = [c.name for c in result.shape_checks]
+        assert any("carrier sense" in n for n in names)
+
+    def test_fig10_compares_loads(self, tiny_runs):
+        result = exp_delivery.run_fig10(tiny_runs)
+        names = [c.name for c in result.shape_checks]
+        assert any("heavy load" in n for n in names)
+
+
+class TestThroughputModules:
+    def test_fig11_series(self, tiny_runs):
+        result = exp_fig11.run(tiny_runs)
+        assert "totals" in result.series
+        assert len(result.series["totals"]) == 6
+
+    def test_fig12_points_cover_links_at_three_loads(self, tiny_runs):
+        result = exp_fig12.run(tiny_runs)
+        ppr_points = result.series["ppr_points"]
+        pkt_points = result.series["packet_points"]
+        assert ppr_points.shape == pkt_points.shape
+        assert ppr_points.shape[1] == 2
+        assert result.series["ppr_over_frag"] > 0
+
+    def test_table2_columns(self, tiny_runs):
+        result = exp_table2.run(tiny_runs)
+        assert set(result.series["throughputs"]) == {1, 10, 30, 100, 300}
+        assert set(result.series["goodput_fraction"]) == set(
+            result.series["throughputs"]
+        )
+
+
+class TestHintStatModules:
+    def test_fig14_counts_keyed_by_eta(self, tiny_runs):
+        result = exp_fig14.run(tiny_runs)
+        assert set(result.series["counts"]) == {1, 2, 3, 4}
+
+    def test_fig15_rates_at_eta6(self, tiny_runs):
+        result = exp_fig15.run(tiny_runs)
+        assert len(result.series["at_eta6"]) == 3
+        for rate in result.series["at_eta6"].values():
+            assert 0 <= rate <= 1
+        # Monotonicity holds at any scale.
+        assert any(
+            c.name.startswith("false-alarm rate monotonically")
+            and c.passed
+            for c in result.shape_checks
+        )

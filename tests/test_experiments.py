@@ -1,0 +1,130 @@
+"""Tests for the experiment harness.
+
+The full-duration experiments run in the benchmark suite; here we
+verify harness structure, the fast experiments end-to-end, and that the
+shared run cache behaves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import exp_fig13, exp_fig16
+from repro.experiments.common import (
+    CapacityRuns,
+    ExperimentResult,
+    ShapeCheck,
+    paper_schemes,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiments
+
+
+class TestShapeCheck:
+    def test_rendering(self):
+        check = ShapeCheck(name="x", passed=True, detail="d")
+        assert str(check) == "[PASS] x (d)"
+        assert str(ShapeCheck(name="y", passed=False)) == "[FAIL] y"
+
+    def test_result_summary(self):
+        result = ExperimentResult(
+            experiment_id="t",
+            title="T",
+            paper_expectation="E",
+            rendered="plot",
+            shape_checks=[ShapeCheck(name="a", passed=True)],
+        )
+        assert result.all_passed
+        assert "=== t: T ===" in result.summary()
+        assert "[PASS] a" in result.summary()
+
+
+class TestCapacityRuns:
+    def test_caching(self):
+        runs = CapacityRuns(duration_s=2.0, seed=1)
+        a = runs.get(13800.0, carrier_sense=False)
+        b = runs.get(13800.0, carrier_sense=False)
+        assert a is b
+        runs.clear()
+        c = runs.get(13800.0, carrier_sense=False)
+        assert c is not a
+
+    def test_different_conditions_different_runs(self):
+        runs = CapacityRuns(duration_s=2.0, seed=1)
+        a = runs.get(13800.0, carrier_sense=False)
+        b = runs.get(13800.0, carrier_sense=True)
+        assert a is not b
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            CapacityRuns(duration_s=0)
+
+    def test_paper_schemes_parameters(self):
+        schemes = paper_schemes()
+        assert schemes[1].n_fragments == 30
+        assert schemes[2].eta == 6.0
+
+
+class TestRegistry:
+    def test_every_paper_result_has_an_experiment(self):
+        expected = {
+            "table1",
+            "table2",
+            "fig3",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            run_experiments(["fig99"], duration_s=1.0)
+
+
+class TestFastExperiments:
+    def test_fig13_collision_anatomy(self):
+        result = exp_fig13.run()
+        assert result.all_passed, result.summary()
+        assert result.series["packet1_hints"].size == 120
+        # The rendered plot names both packets.
+        assert "packet 1" in result.rendered
+
+    def test_fig13_parameter_validation(self):
+        with pytest.raises(ValueError):
+            exp_fig13.run(n_body_symbols=10, overlap_symbols=20)
+
+    def test_fig13_deterministic(self):
+        a = exp_fig13.run(seed=3)
+        b = exp_fig13.run(seed=3)
+        assert np.array_equal(
+            a.series["packet1_hints"], b.series["packet1_hints"]
+        )
+
+    def test_fig16_pparq_sizes(self):
+        result = exp_fig16.run(n_packets=20, seed=2)
+        assert result.all_passed, result.summary()
+        sizes = result.series["retransmit_sizes"]
+        assert sizes.size > 0
+        assert result.series["savings"] > 0
+
+    def test_fig16_bursty_channel_validation(self):
+        from repro.experiments.exp_fig16 import BurstyLinkChannel
+        from repro.phy.codebook import ZigbeeCodebook
+
+        with pytest.raises(ValueError):
+            BurstyLinkChannel(
+                ZigbeeCodebook(),
+                np.random.default_rng(0),
+                burst_prob=1.5,
+            )
+        with pytest.raises(ValueError):
+            BurstyLinkChannel(
+                ZigbeeCodebook(),
+                np.random.default_rng(0),
+                burst_frac_range=(0.5, 0.2),
+            )

@@ -1,0 +1,126 @@
+"""Tests for the PPR frame layout (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.link.frame import (
+    HEADER_BYTES,
+    SYMBOLS_PER_BYTE,
+    TRAILER_BYTES,
+    FrameHeader,
+    PprFrame,
+    body_symbol_count,
+    parse_body_symbols,
+    parse_header_bytes,
+    parse_trailer_bytes,
+)
+from repro.phy.sync import EFD_SYMBOLS, SFD_SYMBOLS
+
+
+class TestFrameHeader:
+    def test_pack_length(self):
+        header = FrameHeader(length=100, src=1, dst=2, seq=3)
+        assert len(header.pack()) == HEADER_BYTES
+
+    def test_pack_parse_roundtrip(self):
+        header = FrameHeader(length=1500, src=12, dst=26, seq=999)
+        parsed, ok = parse_header_bytes(header.pack())
+        assert ok
+        assert parsed == header
+
+    def test_crc_detects_corruption(self):
+        data = bytearray(FrameHeader(10, 1, 2, 3).pack())
+        data[0] ^= 0x01
+        _, ok = parse_header_bytes(bytes(data))
+        assert not ok
+
+    def test_parse_never_raises_on_garbage(self, rng):
+        for _ in range(20):
+            junk = bytes(rng.integers(0, 256, HEADER_BYTES, dtype=np.uint8))
+            parsed, ok = parse_header_bytes(junk)
+            assert isinstance(ok, bool)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="exactly"):
+            parse_header_bytes(b"short")
+
+    def test_field_range_validated(self):
+        with pytest.raises(ValueError, match="16 bits"):
+            FrameHeader(length=0x10000, src=0, dst=0, seq=0)
+
+    def test_trailer_same_layout(self):
+        header = FrameHeader(5, 6, 7, 8)
+        parsed, ok = parse_trailer_bytes(header.pack())
+        assert ok and parsed == header
+
+
+class TestPprFrame:
+    def _frame(self, payload=b"hello world!"):
+        return PprFrame.build(src=3, dst=24, seq=17, wire_payload=payload)
+
+    def test_body_symbol_count(self):
+        frame = self._frame()
+        expected = body_symbol_count(len(frame.wire_payload))
+        assert frame.body_symbols().size == expected
+        assert expected == SYMBOLS_PER_BYTE * (
+            HEADER_BYTES + len(frame.wire_payload) + TRAILER_BYTES
+        )
+
+    def test_on_air_includes_sync_fields(self):
+        frame = self._frame()
+        air = frame.on_air_symbols()
+        assert air.size == frame.n_air_symbols
+        assert air[:8].tolist() == [0] * 8
+        assert tuple(air[8:10]) == SFD_SYMBOLS
+        assert tuple(air[-2:]) == EFD_SYMBOLS
+
+    def test_header_trailer_replicated(self):
+        frame = self._frame()
+        body = frame.body_bytes()
+        assert body[:HEADER_BYTES] == body[-TRAILER_BYTES:]
+
+    def test_parse_body_roundtrip(self):
+        frame = self._frame(b"some payload bytes")
+        parsed = parse_body_symbols(frame.body_symbols())
+        assert parsed.header_ok and parsed.trailer_ok
+        assert parsed.header == frame.header
+        assert parsed.wire_payload == b"some payload bytes"
+
+    def test_parse_detects_corrupt_header_keeps_trailer(self):
+        frame = self._frame()
+        symbols = frame.body_symbols()
+        symbols[0] = (symbols[0] + 1) % 16
+        parsed = parse_body_symbols(symbols)
+        assert not parsed.header_ok
+        assert parsed.trailer_ok  # postamble path still viable
+
+    def test_payload_symbol_range(self):
+        frame = self._frame(b"abcd")
+        start, end = frame.payload_symbol_range()
+        assert start == SYMBOLS_PER_BYTE * HEADER_BYTES
+        assert end - start == SYMBOLS_PER_BYTE * 4
+        from repro.phy.spreading import symbols_to_bytes
+
+        assert symbols_to_bytes(frame.body_symbols()[start:end]) == b"abcd"
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError, match="too large"):
+            PprFrame.build(0, 1, 0, b"x" * 70000)
+
+    def test_too_small_body_rejected(self):
+        with pytest.raises(ValueError):
+            parse_body_symbols(np.zeros(10, dtype=np.int64))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            body_symbol_count(-1)
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, payload):
+        frame = PprFrame.build(src=1, dst=2, seq=3, wire_payload=payload)
+        parsed = parse_body_symbols(frame.body_symbols())
+        assert parsed.header_ok and parsed.trailer_ok
+        assert parsed.wire_payload == payload
+        assert parsed.header.length == len(payload)

@@ -1,0 +1,115 @@
+"""Tests for the CSMA MAC and traffic sources."""
+
+import numpy as np
+import pytest
+
+from repro.sim.mac import CsmaConfig, CsmaMac
+from repro.sim.traffic import CbrSource, PoissonSource
+from repro.utils.units import dbm_to_mw
+
+
+class TestCsmaConfig:
+    def test_threshold_conversion(self):
+        cfg = CsmaConfig(cs_threshold_dbm=-75.0)
+        assert cfg.cs_threshold_mw == pytest.approx(dbm_to_mw(-75.0))
+
+    def test_invalid_backoffs(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(initial_backoff_s=0)
+        with pytest.raises(ValueError):
+            CsmaConfig(initial_backoff_s=0.1, max_backoff_s=0.05)
+        with pytest.raises(ValueError):
+            CsmaConfig(max_attempts=0)
+
+
+class TestCsmaMac:
+    def _mac(self, **kwargs):
+        cfg = CsmaConfig(**kwargs)
+        return CsmaMac(cfg, np.random.default_rng(0)), cfg
+
+    def test_disabled_always_transmits(self):
+        mac, _ = self._mac(enabled=False)
+        go, delay = mac.attempt(sensed_power_mw=1e9)
+        assert go and delay == 0.0
+
+    def test_clear_channel_transmits(self):
+        mac, cfg = self._mac(enabled=True)
+        go, _ = mac.attempt(sensed_power_mw=cfg.cs_threshold_mw / 10)
+        assert go
+
+    def test_busy_channel_backs_off(self):
+        mac, cfg = self._mac(enabled=True)
+        go, delay = mac.attempt(sensed_power_mw=cfg.cs_threshold_mw * 10)
+        assert not go
+        assert 0 <= delay <= cfg.initial_backoff_s
+
+    def test_backoff_window_grows(self):
+        mac, cfg = self._mac(enabled=True, max_attempts=10)
+        busy = cfg.cs_threshold_mw * 10
+        delays = []
+        for _ in range(6):
+            go, delay = mac.attempt(busy)
+            if not go:
+                delays.append(delay)
+        # Windows double, so later delays *can* exceed the first window.
+        assert mac.attempts_so_far == 6
+        assert max(delays) <= cfg.max_backoff_s
+
+    def test_sends_anyway_after_max_attempts(self):
+        mac, cfg = self._mac(enabled=True, max_attempts=3)
+        busy = cfg.cs_threshold_mw * 10
+        outcomes = [mac.attempt(busy)[0] for _ in range(3)]
+        assert outcomes == [False, False, True]
+
+    def test_backoff_state_resets_after_send(self):
+        mac, cfg = self._mac(enabled=True, max_attempts=3)
+        busy = cfg.cs_threshold_mw * 10
+        mac.attempt(busy)
+        mac.attempt(cfg.cs_threshold_mw / 10)  # clear -> sends
+        assert mac.attempts_so_far == 0
+
+
+class TestTrafficSources:
+    def test_poisson_mean_interval(self):
+        source = PoissonSource(
+            load_bits_per_s=3500.0,
+            payload_bytes=1500,
+            rng=np.random.default_rng(1),
+        )
+        assert source.mean_interval_s == pytest.approx(1500 * 8 / 3500)
+        draws = [source.next_interval() for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(
+            source.mean_interval_s, rel=0.05
+        )
+
+    def test_poisson_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            PoissonSource(0, 100, rng)
+        with pytest.raises(ValueError):
+            PoissonSource(100, 0, rng)
+
+    def test_cbr_without_jitter_constant(self):
+        source = CbrSource(
+            load_bits_per_s=1000.0,
+            payload_bytes=125,
+            rng=np.random.default_rng(0),
+            jitter_fraction=0.0,
+        )
+        assert source.next_interval() == source.next_interval() == 1.0
+
+    def test_cbr_jitter_bounds(self):
+        source = CbrSource(
+            load_bits_per_s=1000.0,
+            payload_bytes=125,
+            rng=np.random.default_rng(0),
+            jitter_fraction=0.2,
+        )
+        draws = [source.next_interval() for _ in range(200)]
+        assert min(draws) >= 0.8
+        assert max(draws) <= 1.2
+
+    def test_cbr_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            CbrSource(1000, 125, rng, jitter_fraction=1.0)

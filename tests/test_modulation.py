@@ -1,0 +1,123 @@
+"""Tests for the MSK waveform modulator/demodulator pair."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channelsim import add_awgn
+from repro.phy.demodulation import MskDemodulator
+from repro.phy.modulation import MskModulator
+from repro.phy.pulse import half_sine_pulse, rectangular_pulse
+
+
+class TestPulses:
+    def test_half_sine_unit_energy(self):
+        for sps in (2, 4, 8):
+            assert np.linalg.norm(half_sine_pulse(sps)) == pytest.approx(1.0)
+
+    def test_half_sine_length(self):
+        assert half_sine_pulse(4).size == 8
+
+    def test_half_sine_symmetric(self):
+        p = half_sine_pulse(6)
+        assert p == pytest.approx(p[::-1])
+
+    def test_rectangular_unit_energy(self):
+        assert np.linalg.norm(rectangular_pulse(5)) == pytest.approx(1.0)
+
+    def test_invalid_sps(self):
+        with pytest.raises(ValueError):
+            half_sine_pulse(0)
+
+
+class TestModulator:
+    def test_output_length(self):
+        mod = MskModulator(sps=4)
+        chips = np.zeros(10, dtype=np.int64)
+        wave = mod.modulate_chips(chips)
+        assert wave.size == mod.samples_for_chips(10) == 44
+
+    def test_even_chips_on_i_rail(self):
+        mod = MskModulator(sps=4)
+        chips = np.array([1, 0, 0, 0, 0, 0, 0, 0])
+        wave = mod.modulate_chips(chips)
+        # First pulse is purely real (I rail).
+        assert np.abs(wave[:4].imag).max() == pytest.approx(0.0)
+        assert wave[:4].real.max() > 0
+
+    def test_odd_chips_on_q_rail(self):
+        mod = MskModulator(sps=4)
+        chips = np.array([0, 1, 0, 0, 0, 0, 0, 0])
+        wave = mod.modulate_chips(chips)
+        # Chip 1's pulse starts at sample 4 and is purely imaginary.
+        assert wave[4:8].imag.max() > 0
+
+    def test_odd_chip_count_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            MskModulator().modulate_chips(np.zeros(3, dtype=np.int64))
+
+    def test_non_binary_chips_rejected(self):
+        with pytest.raises(ValueError, match="0/1"):
+            MskModulator().modulate_chips(np.array([0, 2]))
+
+    def test_amplitude_scales_output(self):
+        chips = np.ones(8, dtype=np.int64)
+        quiet = MskModulator(sps=4, amplitude=1.0).modulate_chips(chips)
+        loud = MskModulator(sps=4, amplitude=2.0).modulate_chips(chips)
+        assert loud == pytest.approx(2.0 * quiet)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MskModulator(sps=1)
+        with pytest.raises(ValueError):
+            MskModulator(amplitude=0)
+
+
+class TestDemodulatorRoundtrip:
+    def test_noiseless_roundtrip(self, rng):
+        mod = MskModulator(sps=4)
+        demod = MskDemodulator(sps=4)
+        chips = rng.integers(0, 2, 200)
+        wave = mod.modulate_chips(chips)
+        decoded = demod.demodulate_chips(wave, start=0, n_chips=200)
+        assert np.array_equal(decoded, chips)
+
+    def test_soft_outputs_near_unit(self, rng):
+        mod = MskModulator(sps=4)
+        demod = MskDemodulator(sps=4)
+        chips = rng.integers(0, 2, 100)
+        wave = mod.modulate_chips(chips)
+        soft = demod.demodulate_soft(wave, start=0, n_chips=100)
+        signs = chips * 2 - 1
+        assert soft == pytest.approx(signs.astype(float), abs=1e-9)
+
+    def test_noisy_roundtrip_mostly_correct(self, rng):
+        mod = MskModulator(sps=4)
+        demod = MskDemodulator(sps=4)
+        chips = rng.integers(0, 2, 1000)
+        wave = add_awgn(mod.modulate_chips(chips), 0.2, rng)
+        decoded = demod.demodulate_chips(wave, start=0, n_chips=1000)
+        assert (decoded == chips).mean() > 0.95
+
+    def test_symbol_roundtrip_through_codebook(self, codebook, rng):
+        mod = MskModulator(sps=4)
+        demod = MskDemodulator(sps=4)
+        symbols = rng.integers(0, 16, 30)
+        wave = mod.modulate_symbols(symbols, codebook)
+        matrix = demod.soft_chip_matrix(wave, start=0, n_symbols=30)
+        decoded, _ = codebook.decode_soft(matrix)
+        assert np.array_equal(decoded, symbols)
+
+    def test_truncated_capture_rejected(self):
+        demod = MskDemodulator(sps=4)
+        with pytest.raises(ValueError, match="too short"):
+            demod.demodulate_soft(np.zeros(10, dtype=complex), 0, 10)
+
+    def test_negative_start_rejected(self):
+        demod = MskDemodulator(sps=4)
+        with pytest.raises(ValueError):
+            demod.demodulate_soft(np.zeros(100, dtype=complex), -1, 2)
+
+    def test_zero_chips(self):
+        demod = MskDemodulator(sps=4)
+        out = demod.demodulate_soft(np.zeros(10, dtype=complex), 0, 0)
+        assert out.size == 0

@@ -1,0 +1,161 @@
+"""Tests for the network simulation's structural invariants."""
+
+import numpy as np
+import pytest
+
+from repro.link.frame import HEADER_BYTES, SYMBOLS_PER_BYTE, TRAILER_BYTES
+from repro.sim.medium import PathLossModel
+from repro.sim.network import (
+    SYNC_SYMBOLS,
+    NetworkSimulation,
+    SimulationConfig,
+)
+from repro.sim.testbed import TestbedConfig as _TestbedConfig
+
+
+class TestConfigValidation:
+    def test_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(load_bits_per_s_per_node=0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(duration_s=0)
+
+    def test_rejects_bad_sync_threshold(self):
+        with pytest.raises(ValueError, match="0.5"):
+            SimulationConfig(sync_error_threshold=0.6)
+
+
+class TestRunStructure:
+    def test_transmissions_generated(self, small_sim_result):
+        assert len(small_sim_result.transmissions) > 20
+
+    def test_offered_load_approximates_config(self, small_sim_result):
+        cfg = small_sim_result.config
+        expected = (
+            cfg.duration_s
+            * cfg.load_bits_per_s_per_node
+            / (8 * cfg.payload_bytes)
+            * 23
+        )
+        actual = len(small_sim_result.transmissions)
+        assert actual == pytest.approx(expected, rel=0.3)
+
+    def test_records_only_at_receivers(self, small_sim_result):
+        receivers = set(small_sim_result.testbed.receiver_ids)
+        assert all(
+            r.receiver in receivers for r in small_sim_result.records
+        )
+
+    def test_body_regions_consistent(self, small_sim_result):
+        cfg = small_sim_result.config
+        for rec in small_sim_result.records[:50]:
+            n_body = rec.body_symbols.size
+            assert n_body == SYMBOLS_PER_BYTE * (
+                HEADER_BYTES + cfg.payload_bytes + TRAILER_BYTES
+            )
+            assert rec.payload_start == SYMBOLS_PER_BYTE * HEADER_BYTES
+            assert (
+                rec.payload_end
+                == n_body - SYMBOLS_PER_BYTE * TRAILER_BYTES
+            )
+
+    def test_hints_zero_implies_correct(self, small_sim_result):
+        """A Hamming hint of 0 means the received chips exactly matched
+        the decoded codeword; with the transmitted word at distance 0
+        the decode must be correct."""
+        for rec in small_sim_result.records[:100]:
+            zero_hint = rec.body_hints == 0
+            correct = rec.body_symbols == rec.body_truth
+            assert np.all(correct[zero_hint])
+
+    def test_acquisition_flags_consistent(self, small_sim_result):
+        for rec in small_sim_result.records:
+            assert rec.acquired(True) or not rec.acquired_preamble
+            if rec.acquired(False):
+                assert rec.acquired_preamble
+
+    def test_postamble_recoveries_exist_under_load(self, small_sim_result):
+        extra = [
+            r
+            for r in small_sim_result.records
+            if not r.acquired_preamble and r.acquired(True)
+        ]
+        assert extra, "heavy load should produce postamble-only recoveries"
+
+    def test_determinism(self):
+        config = SimulationConfig(
+            load_bits_per_s_per_node=13800.0,
+            payload_bytes=200,
+            duration_s=4.0,
+            carrier_sense=False,
+            seed=17,
+        )
+        a = NetworkSimulation(config).run()
+        b = NetworkSimulation(config).run()
+        assert len(a.records) == len(b.records)
+        for ra, rb in zip(a.records, b.records):
+            assert ra.tx_id == rb.tx_id
+            assert np.array_equal(ra.body_symbols, rb.body_symbols)
+            assert np.array_equal(ra.body_hints, rb.body_hints)
+
+
+class TestLockArbitration:
+    def test_no_overlapping_preamble_acquisitions(self, small_sim_result):
+        """The single-radio lock: at any receiver, preamble-acquired
+        frames must not overlap in time."""
+        period = small_sim_result.config.symbol_period_s
+        for receiver in small_sim_result.testbed.receiver_ids:
+            acquired = [
+                r
+                for r in small_sim_result.records_for_receiver(receiver)
+                if r.acquired_preamble
+            ]
+            for first, second in zip(acquired, acquired[1:]):
+                n_air = first.body_symbols.size + 2 * SYNC_SYMBOLS
+                first_end = first.start + n_air * period
+                assert second.start >= first_end - 1e-12
+
+
+class TestForcedCollision:
+    def test_two_synchronized_senders_corrupt_each_other(self):
+        """A deliberate 3-node layout: two equidistant senders at high
+        power around one receiver; no carrier sense.  Their Poisson
+        streams overlap often, and overlapped receptions must show
+        corrupted codewords with high hints."""
+        positions = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 0.0]])
+        testbed = _TestbedConfig(
+            positions_m=positions,
+            sender_ids=(0, 1),
+            receiver_ids=(2,),
+            room_grid=(1, 1),
+            area_m=(10.0, 1.0),
+        )
+        config = SimulationConfig(
+            load_bits_per_s_per_node=60_000.0,
+            payload_bytes=400,
+            duration_s=5.0,
+            carrier_sense=False,
+            seed=4,
+            wall_loss_db=0.0,
+            fading_sigma_db=0.0,
+        )
+        sim = NetworkSimulation(
+            config,
+            testbed=testbed,
+            path_loss=PathLossModel(shadowing_sigma_db=0),
+        )
+        result = sim.run()
+        corrupted = [
+            r
+            for r in result.records
+            if not np.array_equal(r.body_symbols, r.body_truth)
+        ]
+        assert corrupted, "equal-power collisions must corrupt symbols"
+        rec = max(
+            corrupted,
+            key=lambda r: (r.body_symbols != r.body_truth).sum(),
+        )
+        wrong = rec.body_symbols != rec.body_truth
+        assert rec.body_hints[wrong].mean() > rec.body_hints[~wrong].mean()

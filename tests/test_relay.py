@@ -1,0 +1,196 @@
+"""Tests for opportunistic partial forwarding and adaptive fragments."""
+
+import numpy as np
+import pytest
+
+from repro.link.fragmentation import AdaptiveFragmentSizer
+from repro.link.relay import (
+    CombinedForward,
+    PartialForward,
+    combine_forwards,
+    make_partial_forward,
+)
+from repro.phy.chipchannel import transmit_chipwords
+from repro.phy.symbols import SoftPacket
+
+
+def _reception(codebook, truth, p, rng):
+    received = transmit_chipwords(codebook.encode_words(truth), p, rng)
+    decoded, dist = codebook.decode_hard(received)
+    return SoftPacket(
+        symbols=decoded, hints=dist.astype(float), truth=truth
+    )
+
+
+class TestPartialForward:
+    def test_threshold_selects_good_symbols(self):
+        reception = SoftPacket(
+            symbols=np.array([1, 2, 3, 4]),
+            hints=np.array([0.0, 9.0, 2.0, 12.0]),
+        )
+        forward = make_partial_forward(reception, eta=6.0)
+        assert forward.positions.tolist() == [0, 2]
+        assert forward.symbols.tolist() == [1, 3]
+        assert forward.forwarded_fraction == pytest.approx(0.5)
+        assert forward.airtime_symbols == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal sizes"):
+            PartialForward(
+                n_symbols=4,
+                positions=np.array([0]),
+                symbols=np.array([1, 2]),
+                hints=np.array([0.0]),
+            )
+        with pytest.raises(ValueError, match="range"):
+            PartialForward(
+                n_symbols=2,
+                positions=np.array([5]),
+                symbols=np.array([1]),
+                hints=np.array([0.0]),
+            )
+        with pytest.raises(ValueError, match="unique"):
+            PartialForward(
+                n_symbols=4,
+                positions=np.array([1, 1]),
+                symbols=np.array([1, 2]),
+                hints=np.array([0.0, 0.0]),
+            )
+
+
+class TestCombineForwards:
+    def test_most_confident_copy_wins(self):
+        a = PartialForward(
+            n_symbols=3,
+            positions=np.array([0, 1]),
+            symbols=np.array([5, 6]),
+            hints=np.array([3.0, 1.0]),
+        )
+        b = PartialForward(
+            n_symbols=3,
+            positions=np.array([0, 2]),
+            symbols=np.array([9, 7]),
+            hints=np.array([1.0, 2.0]),
+        )
+        combined = combine_forwards([a, b])
+        assert combined.symbols[0] == 9  # b was more confident
+        assert combined.symbols[1] == 6
+        assert combined.symbols[2] == 7
+        assert combined.coverage == pytest.approx(1.0)
+        assert combined.missing_positions.size == 0
+
+    def test_missing_positions_reported(self):
+        a = PartialForward(
+            n_symbols=5,
+            positions=np.array([0, 4]),
+            symbols=np.array([1, 2]),
+            hints=np.array([0.0, 0.0]),
+        )
+        combined = combine_forwards([a])
+        assert combined.missing_positions.tolist() == [1, 2, 3]
+        assert combined.coverage == pytest.approx(0.4)
+
+    def test_length_disagreement_rejected(self):
+        a = PartialForward(
+            n_symbols=2,
+            positions=np.array([0]),
+            symbols=np.array([1]),
+            hints=np.array([0.0]),
+        )
+        b = PartialForward(
+            n_symbols=3,
+            positions=np.array([0]),
+            symbols=np.array([1]),
+            hints=np.array([0.0]),
+        )
+        with pytest.raises(ValueError):
+            combine_forwards([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_forwards([])
+
+    def test_two_lossy_relays_cover_more_than_one(self, codebook, rng):
+        """The ExOR-ish payoff: relays hit by different bursts jointly
+        cover (almost) the whole frame while each forwards only its
+        good symbols."""
+        truth = rng.integers(0, 16, 300)
+        p1 = np.full(300, 0.002)
+        p1[:120] = 0.45
+        p2 = np.full(300, 0.002)
+        p2[180:] = 0.45
+        f1 = make_partial_forward(
+            _reception(codebook, truth, p1, rng), eta=6.0
+        )
+        f2 = make_partial_forward(
+            _reception(codebook, truth, p2, rng), eta=6.0
+        )
+        combined = combine_forwards([f1, f2])
+        assert combined.coverage > max(
+            f1.forwarded_fraction, f2.forwarded_fraction
+        )
+        covered = combined.covered
+        assert (
+            combined.symbols[covered] == truth[covered]
+        ).mean() > 0.97
+        # Capacity saving: airtime spent is below two full copies.
+        assert f1.airtime_symbols + f2.airtime_symbols < 2 * 300
+
+
+class TestAdaptiveFragmentSizer:
+    def test_clean_packets_shrink_fragment_count(self):
+        sizer = AdaptiveFragmentSizer(initial_fragments=30)
+        for _ in range(10):
+            sizer.observe_packet([True] * sizer.n_fragments)
+        assert sizer.n_fragments == 1
+
+    def test_failures_grow_fragment_count(self):
+        sizer = AdaptiveFragmentSizer(initial_fragments=10)
+        outcomes = [False] * 3 + [True] * 7
+        sizer.observe_packet(outcomes)
+        assert sizer.n_fragments == 20
+
+    def test_rare_failures_hold_steady(self):
+        sizer = AdaptiveFragmentSizer(
+            initial_fragments=30, failure_threshold=0.2
+        )
+        outcomes = [False] + [True] * 29  # 3.3% failure rate
+        assert sizer.observe_packet(outcomes) == 30
+
+    def test_bounds_respected(self):
+        sizer = AdaptiveFragmentSizer(
+            initial_fragments=4, min_fragments=2, max_fragments=8
+        )
+        for _ in range(5):
+            sizer.observe_packet([False, True])
+        assert sizer.n_fragments == 8
+        for _ in range(10):
+            sizer.observe_packet([True] * sizer.n_fragments)
+        assert sizer.n_fragments == 2
+
+    def test_oscillation_converges_to_regime(self):
+        """Alternating channel regimes keep the controller inside its
+        bounds and responsive in both directions."""
+        sizer = AdaptiveFragmentSizer(initial_fragments=30)
+        history = []
+        for round_idx in range(40):
+            bursty = round_idx % 2 == 0
+            n = sizer.n_fragments
+            outcomes = (
+                [False] * max(1, n // 3) + [True] * (n - max(1, n // 3))
+                if bursty
+                else [True] * n
+            )
+            history.append(sizer.observe_packet(outcomes))
+        assert 1 <= min(history) and max(history) <= 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveFragmentSizer(initial_fragments=0)
+        with pytest.raises(ValueError):
+            AdaptiveFragmentSizer(grow_factor=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveFragmentSizer(failure_threshold=0)
+        sizer = AdaptiveFragmentSizer()
+        with pytest.raises(ValueError):
+            sizer.observe_packet([])

@@ -1,0 +1,74 @@
+"""Tests for the experiment runner CLI and the public package API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.experiments.runner import main, run_experiments
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_exports_resolve(self):
+        import repro.arq
+        import repro.link
+        import repro.phy
+        import repro.sim
+        import repro.utils
+
+        for module in (
+            repro.arq,
+            repro.link,
+            repro.phy,
+            repro.sim,
+            repro.utils,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (
+                    f"{module.__name__} missing export {name}"
+                )
+
+
+class TestRunnerCli:
+    def test_single_fast_experiment(self, capsys):
+        code = main(["--experiment", "fig13"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig13" in out
+        assert "shape checks passed" in out
+
+    def test_requires_selection(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(ValueError):
+            run_experiments(["nonsense"])
+
+    def test_run_experiments_returns_results(self):
+        results = run_experiments(["fig16"], duration_s=2.0)
+        assert len(results) == 1
+        assert results[0].experiment_id == "fig16"
+        assert "elapsed_s" in results[0].series
+
+    def test_tiny_capacity_experiment_end_to_end(self):
+        """A minimal-duration delivery experiment exercises the whole
+        simulate-evaluate-check pipeline (statistics too thin for shape
+        guarantees, so only structure is asserted)."""
+        from repro.experiments.common import CapacityRuns
+        from repro.experiments.exp_delivery import run_fig10
+
+        runs = CapacityRuns(duration_s=3.0, seed=5)
+        result = run_fig10(runs)
+        assert result.experiment_id == "fig10"
+        assert len(result.shape_checks) >= 3
+        assert "ppr, postamble" in result.series
+        assert isinstance(
+            result.series["ppr, postamble"], np.ndarray
+        )

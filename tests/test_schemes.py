@@ -1,0 +1,191 @@
+"""Tests for the three delivery schemes of paper §7.2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.link.schemes import (
+    FragmentedCrcScheme,
+    PacketCrcScheme,
+    PprScheme,
+    ReceivedPayload,
+    default_schemes,
+)
+from repro.phy.spreading import bytes_to_symbols
+
+
+def _clean_rx(scheme, payload):
+    wire = scheme.encode_payload(payload)
+    symbols = bytes_to_symbols(wire)
+    return ReceivedPayload(
+        symbols=symbols, hints=np.zeros(symbols.size), truth=symbols
+    )
+
+
+def _corrupt_rx(scheme, payload, sym_lo, sym_hi, hint=10.0):
+    """Corrupt symbols in [sym_lo, sym_hi) with high hints."""
+    wire = scheme.encode_payload(payload)
+    truth = bytes_to_symbols(wire)
+    symbols = truth.copy()
+    symbols[sym_lo:sym_hi] = (symbols[sym_lo:sym_hi] + 1) % 16
+    hints = np.zeros(truth.size)
+    hints[sym_lo:sym_hi] = hint
+    return ReceivedPayload(symbols=symbols, hints=hints, truth=truth)
+
+
+PAYLOAD = bytes(range(120))
+
+
+class TestPacketCrc:
+    def test_clean_delivers_everything(self):
+        scheme = PacketCrcScheme()
+        result = scheme.deliver(_clean_rx(scheme, PAYLOAD))
+        assert result.frame_passed
+        assert result.delivered_correct_bits == 8 * len(PAYLOAD)
+        assert result.delivered_incorrect_bits == 0
+        assert result.delivery_fraction == 1.0
+
+    def test_single_corrupt_symbol_kills_packet(self):
+        scheme = PacketCrcScheme()
+        result = scheme.deliver(_corrupt_rx(scheme, PAYLOAD, 5, 6))
+        assert not result.frame_passed
+        assert result.delivered_bits == 0
+
+    def test_overhead_is_one_crc(self):
+        assert PacketCrcScheme().wire_overhead_bytes(1500) == 4
+
+    def test_short_wire_rejected(self):
+        scheme = PacketCrcScheme()
+        rx = ReceivedPayload(
+            symbols=np.zeros(2, dtype=np.int64),
+            hints=np.zeros(2),
+            truth=np.zeros(2, dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="shorter"):
+            scheme.deliver(rx)
+
+
+class TestFragmentedCrc:
+    def test_clean_delivers_everything(self):
+        scheme = FragmentedCrcScheme(n_fragments=10)
+        result = scheme.deliver(_clean_rx(scheme, PAYLOAD))
+        assert result.frame_passed
+        assert result.delivered_correct_bits == 8 * len(PAYLOAD)
+
+    def test_corrupt_fragment_loses_only_that_fragment(self):
+        scheme = FragmentedCrcScheme(n_fragments=10)
+        # 120-byte payload, 10 fragments of 12 bytes (24 symbols) + CRC.
+        result = scheme.deliver(_corrupt_rx(scheme, PAYLOAD, 0, 2))
+        assert not result.frame_passed
+        assert result.delivered_correct_bits == 8 * (len(PAYLOAD) - 12)
+
+    def test_corrupt_crc_field_loses_fragment(self):
+        scheme = FragmentedCrcScheme(n_fragments=10)
+        # Symbols 24..31 are the first fragment's CRC.
+        result = scheme.deliver(_corrupt_rx(scheme, PAYLOAD, 24, 25))
+        assert result.delivered_correct_bits == 8 * (len(PAYLOAD) - 12)
+
+    def test_overhead_scales_with_fragments(self):
+        assert FragmentedCrcScheme(30).wire_overhead_bytes(1500) == 120
+        assert FragmentedCrcScheme(30).wire_overhead_bytes(10) == 40
+
+    def test_encode_layout(self):
+        scheme = FragmentedCrcScheme(n_fragments=2)
+        wire = scheme.encode_payload(b"abcdef")
+        assert len(wire) == 6 + 8
+        from repro.utils.crc import CRC32_IEEE
+
+        assert wire[3:7] == CRC32_IEEE.compute_bytes(b"abc")
+        assert wire[7:10] == b"def"
+        assert wire[10:] == CRC32_IEEE.compute_bytes(b"def")
+
+    def test_invalid_fragment_count(self):
+        with pytest.raises(ValueError):
+            FragmentedCrcScheme(n_fragments=0)
+
+    def test_payload_shorter_than_fragments(self):
+        scheme = FragmentedCrcScheme(n_fragments=30)
+        result = scheme.deliver(_clean_rx(scheme, b"abc"))
+        assert result.frame_passed
+        assert result.delivered_correct_bits == 24
+
+
+class TestPpr:
+    def test_clean_delivers_everything(self):
+        scheme = PprScheme(eta=6)
+        result = scheme.deliver(_clean_rx(scheme, PAYLOAD))
+        assert result.frame_passed
+        assert result.delivered_correct_bits == 8 * len(PAYLOAD)
+
+    def test_partial_delivery_around_burst(self):
+        scheme = PprScheme(eta=6)
+        result = scheme.deliver(_corrupt_rx(scheme, PAYLOAD, 10, 50))
+        assert not result.frame_passed
+        # 40 corrupt symbols excluded, everything else delivered.
+        assert result.delivered_correct_bits == 4 * (240 - 40)
+        assert result.delivered_incorrect_bits == 0
+
+    def test_miss_counts_as_incorrect_delivery(self):
+        scheme = PprScheme(eta=6)
+        # Corrupt symbols with LOW hints: SoftPHY misses.
+        rx = _corrupt_rx(scheme, PAYLOAD, 10, 12, hint=2.0)
+        result = scheme.deliver(rx)
+        assert result.delivered_incorrect_bits == 8
+        assert result.delivered_correct_bits == 4 * 238
+
+    def test_false_alarm_withholds_correct_bits(self):
+        scheme = PprScheme(eta=6)
+        wire = scheme.encode_payload(PAYLOAD)
+        truth = bytes_to_symbols(wire)
+        hints = np.zeros(truth.size)
+        hints[:4] = 9.0  # correct symbols, bad hints
+        rx = ReceivedPayload(symbols=truth, hints=hints, truth=truth)
+        result = scheme.deliver(rx)
+        assert result.delivered_correct_bits == 4 * (240 - 4)
+        assert result.frame_passed  # CRC still verifies
+
+    def test_same_wire_format_as_packet_crc(self):
+        assert PprScheme().encode_payload(PAYLOAD) == PacketCrcScheme(
+        ).encode_payload(PAYLOAD)
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            PprScheme(eta=-1)
+
+
+class TestCommon:
+    def test_default_schemes_composition(self):
+        schemes = default_schemes()
+        names = [s.name for s in schemes]
+        assert names == ["packet_crc", "fragmented_crc", "ppr"]
+
+    def test_wire_length(self):
+        for scheme in default_schemes():
+            assert scheme.wire_length(100) == 100 + (
+                scheme.wire_overhead_bytes(100)
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="identical"):
+            ReceivedPayload(
+                symbols=np.zeros(4, dtype=np.int64),
+                hints=np.zeros(3),
+                truth=np.zeros(4, dtype=np.int64),
+            )
+
+    @given(
+        st.binary(min_size=8, max_size=200),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ppr_never_delivers_more_than_payload(self, payload, start):
+        scheme = PprScheme(eta=6)
+        n_payload_syms = 2 * len(payload)
+        lo = min(start, n_payload_syms - 1)
+        rx = _corrupt_rx(scheme, payload, lo, lo + 3)
+        result = scheme.deliver(rx)
+        assert 0 <= result.delivered_bits <= result.payload_bits
+        assert (
+            result.delivered_correct_bits + result.delivered_incorrect_bits
+            == result.delivered_bits
+        )

@@ -1,0 +1,98 @@
+"""Tests for the SoftPHY interface containers."""
+
+import numpy as np
+import pytest
+
+from repro.phy.symbols import SoftPacket, SoftSymbol, SyncSource
+
+
+class TestSoftSymbol:
+    def test_threshold_rule(self):
+        assert SoftSymbol(3, 2.0).is_good(eta=6)
+        assert SoftSymbol(3, 6.0).is_good(eta=6)
+        assert not SoftSymbol(3, 7.0).is_good(eta=6)
+
+
+class TestSoftPacket:
+    def _packet(self):
+        return SoftPacket(
+            symbols=np.array([1, 2, 3, 4]),
+            hints=np.array([0.0, 7.0, 1.0, 9.0]),
+            truth=np.array([1, 5, 3, 4]),
+        )
+
+    def test_length(self):
+        assert len(self._packet()) == 4
+        assert self._packet().n_symbols == 4
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            SoftPacket(symbols=np.array([1]), hints=np.array([0.0, 1.0]))
+
+    def test_truth_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="truth"):
+            SoftPacket(
+                symbols=np.array([1, 2]),
+                hints=np.zeros(2),
+                truth=np.array([1]),
+            )
+
+    def test_good_mask(self):
+        assert self._packet().good_mask(6.0).tolist() == [
+            True,
+            False,
+            True,
+            False,
+        ]
+
+    def test_correct_mask(self):
+        assert self._packet().correct_mask().tolist() == [
+            True,
+            False,
+            True,
+            True,
+        ]
+
+    def test_correct_mask_requires_truth(self):
+        packet = SoftPacket(symbols=np.array([1]), hints=np.array([0.0]))
+        with pytest.raises(ValueError, match="truth"):
+            packet.correct_mask()
+
+    def test_miss_mask(self):
+        # Symbol 1 is incorrect; at eta=8 its hint 7.0 labels it good:
+        # a miss.
+        assert self._packet().miss_mask(8.0).tolist() == [
+            False,
+            True,
+            False,
+            False,
+        ]
+
+    def test_false_alarm_mask(self):
+        # Symbol 3 is correct but hint 9.0 > 6: a false alarm.
+        assert self._packet().false_alarm_mask(6.0).tolist() == [
+            False,
+            False,
+            False,
+            True,
+        ]
+
+    def test_miss_and_false_alarm_disjoint(self):
+        packet = self._packet()
+        overlap = packet.miss_mask(6.0) & packet.false_alarm_mask(6.0)
+        assert not overlap.any()
+
+    def test_to_soft_symbols(self):
+        symbols = self._packet().to_soft_symbols()
+        assert len(symbols) == 4
+        assert symbols[1] == SoftSymbol(2, 7.0)
+
+    def test_payload_bytes(self):
+        packet = SoftPacket(
+            symbols=np.array([3, 10]), hints=np.zeros(2)
+        )
+        assert packet.payload_bytes() == b"\xa3"
+
+    def test_default_sync_source(self):
+        packet = SoftPacket(symbols=np.array([0]), hints=np.zeros(1))
+        assert packet.sync_source is SyncSource.PREAMBLE

@@ -1,0 +1,159 @@
+"""Tests for frame sync correlators and the rollback buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.sync import (
+    EFD_SYMBOLS,
+    POSTAMBLE_SYMBOLS,
+    PREAMBLE_SYMBOLS,
+    SFD_SYMBOLS,
+    CorrelationSynchronizer,
+    RollbackBuffer,
+    sync_field_symbols,
+)
+
+
+class TestSyncFields:
+    def test_preamble_matches_802154(self):
+        assert PREAMBLE_SYMBOLS == tuple([0] * 8)
+        assert SFD_SYMBOLS == (7, 10)  # 0xA7 low nibble first
+
+    def test_postamble_distinct_from_preamble(self):
+        pre = sync_field_symbols("preamble")
+        post = sync_field_symbols("postamble")
+        assert not np.array_equal(pre, post)
+        assert POSTAMBLE_SYMBOLS != PREAMBLE_SYMBOLS
+        assert EFD_SYMBOLS != SFD_SYMBOLS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="preamble.*postamble"):
+            sync_field_symbols("midamble")
+
+
+class TestCorrelationSynchronizer:
+    def _stream_with_sync(self, codebook, rng, kind, at_symbol=20):
+        body = rng.integers(0, 16, 60)
+        field = sync_field_symbols(kind)
+        stream = np.concatenate(
+            [body[:at_symbol], field, body[at_symbol:]]
+        )
+        return codebook.encode(stream), at_symbol * 32
+
+    def test_detects_exact_offset(self, codebook, rng):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        chips, offset = self._stream_with_sync(codebook, rng, "preamble")
+        assert sync.detect(chips) == [offset]
+
+    def test_postamble_detector_ignores_preamble(self, codebook, rng):
+        post_sync = CorrelationSynchronizer(
+            codebook, "postamble", threshold=0.75
+        )
+        chips, _ = self._stream_with_sync(codebook, rng, "preamble")
+        assert post_sync.detect(chips) == []
+
+    def test_detects_despite_chip_errors(self, codebook, rng):
+        sync = CorrelationSynchronizer(codebook, "preamble", threshold=0.7)
+        chips, offset = self._stream_with_sync(codebook, rng, "preamble")
+        corrupted = chips.copy()
+        flip = rng.choice(chips.size, size=chips.size // 20, replace=False)
+        corrupted[flip] ^= 1
+        assert offset in sync.detect(corrupted)
+
+    def test_no_detection_in_noise(self, codebook, rng):
+        sync = CorrelationSynchronizer(codebook, "preamble", threshold=0.7)
+        noise = rng.integers(0, 2, 4000).astype(np.uint8)
+        assert sync.detect(noise) == []
+
+    def test_correlate_peak_value_is_one_on_exact_match(self, codebook):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        pattern_chips = codebook.encode(sync_field_symbols("preamble"))
+        corr = sync.correlate(pattern_chips)
+        assert corr[0] == pytest.approx(1.0)
+
+    def test_correlate_short_input(self, codebook):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        assert sync.correlate(np.zeros(4, dtype=np.uint8)).size == 0
+
+    def test_multiple_detections(self, codebook, rng):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        field = codebook.encode(sync_field_symbols("preamble"))
+        gap = codebook.encode(rng.integers(0, 16, 40))
+        stream = np.concatenate([field, gap, field])
+        detections = sync.detect(stream)
+        assert detections == [0, field.size + gap.size]
+
+    def test_invalid_threshold_rejected(self, codebook):
+        with pytest.raises(ValueError):
+            CorrelationSynchronizer(codebook, "preamble", threshold=0.0)
+
+    def test_pattern_chips_length(self, codebook):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        assert sync.pattern_chips == 10 * 32
+
+
+class TestRollbackBuffer:
+    def test_basic_append_and_get(self):
+        buf = RollbackBuffer(capacity=10)
+        buf.append(np.arange(5, dtype=complex))
+        assert buf.get_last(3) == pytest.approx([2, 3, 4])
+
+    def test_wraparound(self):
+        buf = RollbackBuffer(capacity=8)
+        buf.append(np.arange(6, dtype=complex))
+        buf.append(np.arange(6, 12, dtype=complex))
+        assert buf.get_last(8) == pytest.approx(np.arange(4, 12))
+
+    def test_absolute_indexing(self):
+        buf = RollbackBuffer(capacity=16)
+        buf.append(np.arange(10, dtype=complex))
+        assert buf.get_range(3, 4) == pytest.approx([3, 4, 5, 6])
+
+    def test_evicted_range_rejected(self):
+        buf = RollbackBuffer(capacity=4)
+        buf.append(np.arange(10, dtype=complex))
+        with pytest.raises(ValueError, match="evicted"):
+            buf.get_range(0, 2)
+
+    def test_future_range_rejected(self):
+        buf = RollbackBuffer(capacity=4)
+        buf.append(np.arange(2, dtype=complex))
+        with pytest.raises(ValueError, match="not yet written"):
+            buf.get_range(0, 5)
+
+    def test_oversized_append_keeps_tail(self):
+        buf = RollbackBuffer(capacity=4)
+        buf.append(np.arange(10, dtype=complex))
+        assert buf.get_last(4) == pytest.approx([6, 7, 8, 9])
+        assert buf.total_written == 10
+        assert buf.oldest_available == 6
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RollbackBuffer(capacity=0)
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=20),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reference_stream(self, chunk_sizes):
+        """Whatever the append pattern, retained samples match the
+        ground-truth concatenated stream."""
+        capacity = 32
+        buf = RollbackBuffer(capacity=capacity)
+        stream = np.zeros(0, dtype=complex)
+        value = 0
+        for size in chunk_sizes:
+            chunk = np.arange(value, value + size, dtype=complex)
+            value += size
+            buf.append(chunk)
+            stream = np.concatenate([stream, chunk])
+        available = min(capacity, stream.size)
+        assert buf.get_last(available) == pytest.approx(
+            stream[-available:]
+        )

@@ -1,0 +1,95 @@
+"""Tests for symbol timing recovery."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channelsim import add_awgn
+from repro.phy.modulation import MskModulator
+from repro.phy.timing import MuellerMullerTed, estimate_chip_phase
+
+
+class TestPhaseEstimation:
+    def _waveform(self, rng, sps=4, n_chips=256):
+        mod = MskModulator(sps=sps)
+        chips = rng.integers(0, 2, n_chips)
+        return mod.modulate_chips(chips)
+
+    def test_recovers_zero_offset(self, rng):
+        wave = self._waveform(rng)
+        phase, energies = estimate_chip_phase(wave, sps=4)
+        assert phase == 0
+        assert energies[0] == energies.max()
+
+    def test_recovers_integer_offsets(self, rng):
+        wave = self._waveform(rng)
+        for offset in (1, 2, 3):
+            delayed = np.concatenate(
+                [np.zeros(offset, dtype=complex), wave]
+            )
+            phase, _ = estimate_chip_phase(delayed, sps=4)
+            assert phase == offset
+
+    def test_robust_to_noise(self, rng):
+        wave = self._waveform(rng, n_chips=512)
+        delayed = np.concatenate([np.zeros(2, dtype=complex), wave])
+        noisy = add_awgn(delayed, 0.3, rng)
+        phase, _ = estimate_chip_phase(noisy, sps=4, n_probe_chips=256)
+        assert phase == 2
+
+    def test_works_mid_stream(self, rng):
+        """Non-data-aided: the estimator needs no preamble (paper §4)."""
+        wave = self._waveform(rng, n_chips=512)
+        phase, _ = estimate_chip_phase(
+            wave, sps=4, start=4 * 100, n_probe_chips=128
+        )
+        assert phase == 0
+
+    def test_too_short_capture_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            estimate_chip_phase(np.zeros(40, dtype=complex), sps=4)
+
+    def test_invalid_sps_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_chip_phase(np.zeros(1000, dtype=complex), sps=1)
+
+
+class TestMuellerMuller:
+    def test_zero_error_when_centred(self):
+        ted = MuellerMullerTed()
+        # Perfectly sliced alternating soft outputs: no timing error.
+        soft = np.array([1.0, -1.0, 1.0, -1.0, 1.0, -1.0])
+        assert ted.mean_error(soft) == pytest.approx(0.0)
+
+    def test_error_sign_tracks_sampling_skew(self, rng):
+        ted = MuellerMullerTed()
+        # Late sampling leaks the *next* chip into each soft output
+        # (y_k = a_k + 0.3 a_{k+1}); early sampling leaks the previous
+        # one.  For random data E[e] = -0.3 when late, +0.3 when early.
+        # (An alternating pattern is degenerate: the leakage only
+        # rescales it, so random chips are essential here.)
+        chips = rng.choice([-1.0, 1.0], size=4000)
+        late = chips[:-1] + 0.3 * chips[1:]
+        early = chips[1:] + 0.3 * chips[:-1]
+        assert ted.mean_error(late) == pytest.approx(-0.3, abs=0.05)
+        assert ted.mean_error(early) == pytest.approx(0.3, abs=0.05)
+
+    def test_error_signal_length(self):
+        ted = MuellerMullerTed()
+        assert ted.error_signal(np.ones(10)).size == 9
+        assert ted.error_signal(np.ones(1)).size == 0
+
+    def test_track_moves_against_error(self, rng):
+        ted = MuellerMullerTed(loop_gain=0.1)
+        chips = rng.choice([-1.0, 1.0], size=600)
+        late = chips[:-1] + 0.3 * chips[1:]
+        history = ted.track([late, late, late])
+        assert history[-1] > 0  # loop advances phase to compensate
+        assert len(history) == 3
+        # Accumulates monotonically while the skew persists.
+        assert history[0] < history[1] < history[2]
+
+    def test_invalid_gain_rejected(self):
+        with pytest.raises(ValueError):
+            MuellerMullerTed(loop_gain=0.0)
+        with pytest.raises(ValueError):
+            MuellerMullerTed(loop_gain=1.0)

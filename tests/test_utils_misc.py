@@ -1,0 +1,111 @@
+"""Tests for repro.utils.rng, units, and validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+from repro.utils.units import (
+    db_to_linear,
+    dbm_to_mw,
+    dbm_to_watts,
+    linear_to_db,
+    mw_to_dbm,
+    watts_to_dbm,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_nonneg_int,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_ensure_passes_generator_through(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_ensure_seeds_from_int(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_derive_deterministic(self):
+        a = derive_rng(7, "noise").random(4)
+        b = derive_rng(7, "noise").random(4)
+        assert np.array_equal(a, b)
+
+    def test_derive_labels_independent(self):
+        a = derive_rng(7, "noise").random(4)
+        b = derive_rng(7, "traffic").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_derive_seeds_independent(self):
+        a = derive_rng(7, "noise").random(4)
+        b = derive_rng(8, "noise").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_count(self):
+        children = spawn_rngs(np.random.default_rng(0), 5)
+        assert len(children) == 5
+        draws = {float(c.random()) for c in children}
+        assert len(draws) == 5  # streams differ
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(np.random.default_rng(0), -1)
+
+
+class TestUnits:
+    def test_db_linear_roundtrip(self):
+        for db in (-30.0, 0.0, 3.0, 20.0):
+            assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
+
+    def test_known_values(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(3.0) == pytest.approx(1.995, rel=1e-3)
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+        assert dbm_to_mw(30.0) == pytest.approx(1000.0)
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_dbm_roundtrip(self):
+        for dbm in (-95.0, -30.0, 0.0, 20.0):
+            assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm)
+            assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_array_support(self):
+        out = dbm_to_mw(np.array([0.0, 10.0]))
+        assert out.tolist() == pytest.approx([1.0, 10.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            mw_to_dbm(-1.0)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_check_nonneg_int(self):
+        assert check_nonneg_int("n", 3) == 3
+        with pytest.raises(ValueError):
+            check_nonneg_int("n", -1)
+        with pytest.raises(ValueError):
+            check_nonneg_int("n", 1.5)
+        with pytest.raises(ValueError):
+            check_nonneg_int("n", True)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        assert check_probability("p", 0) == 0.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.1)
+
+    def test_check_in_range(self):
+        check_in_range("v", 5, 0, 10)
+        with pytest.raises(ValueError, match=r"\[0, 10\]"):
+            check_in_range("v", 11, 0, 10)
