@@ -16,8 +16,10 @@ from repro.arq.feedback import (
     gaps_for_segments,
 )
 from repro.arq.runlength import RunLengthPacket
+from repro.phy.batch import BatchReceptionEngine, decode_samples_batch
 from repro.phy.chipchannel import transmit_chipwords
 from repro.phy.codebook import ZigbeeCodebook
+from repro.phy.decoder import SoftDecisionDecoder
 from repro.phy.modulation import MskModulator
 
 
@@ -55,6 +57,49 @@ def test_bench_chunking_dp(benchmark):
     runs = RunLengthPacket.from_labels(mask)
     plan = benchmark(plan_chunks, runs)
     assert plan.n_requested_symbols >= (~mask).sum()
+
+
+def test_bench_chunking_dp_dense(benchmark):
+    """The per-diagonal vectorized DP on a packet with 120 bad runs —
+    the regime where the old O(L^3) Python loops dominated."""
+    rng = np.random.default_rng(30)
+    mask = np.ones(6000, dtype=bool)
+    starts = np.sort(rng.choice(5800, size=120, replace=False))
+    for s in starts:
+        mask[s : s + int(rng.integers(1, 6))] = False
+    runs = RunLengthPacket.from_labels(mask)
+    plan = benchmark(plan_chunks, runs)
+    assert plan.n_requested_symbols >= (~mask).sum()
+
+
+def test_bench_batched_reception(benchmark):
+    """Fused nearest-codeword decode of 200 receptions' corrupted
+    words in one BatchReceptionEngine call (the per-trial pattern)."""
+    codebook = ZigbeeCodebook()
+    rng = np.random.default_rng(31)
+    arrays = []
+    for _ in range(200):
+        words = codebook.encode_words(
+            rng.integers(0, 16, int(rng.integers(20, 120)))
+        )
+        arrays.append(transmit_chipwords(words, 0.15, rng))
+    engine = BatchReceptionEngine(codebook)
+    decoded = benchmark(engine.decode_hard_ragged, arrays)
+    assert len(decoded) == 200
+
+
+def test_bench_soft_decision_batch(benchmark):
+    """Fused soft-decision decode of 64 stacked receptions."""
+    codebook = ZigbeeCodebook()
+    rng = np.random.default_rng(32)
+    decoder = SoftDecisionDecoder(codebook)
+    blocks = []
+    for _ in range(64):
+        symbols = rng.integers(0, 16, 60)
+        clean = codebook.encode(symbols).reshape(-1, 32) * 2.0 - 1.0
+        blocks.append(clean + rng.normal(0.0, 0.6, clean.shape))
+    results = benchmark(decode_samples_batch, decoder, blocks)
+    assert len(results) == 64
 
 
 def test_bench_feedback_roundtrip(benchmark):

@@ -8,7 +8,12 @@ stop-and-wait baseline lives in :mod:`repro.arq.fullarq`.
 """
 
 from repro.arq.runlength import Run, RunLengthPacket
-from repro.arq.chunking import ChunkPlan, chunk_cost_naive, plan_chunks
+from repro.arq.chunking import (
+    ChunkPlan,
+    chunk_cost_naive,
+    plan_chunks,
+    plan_chunks_reference,
+)
 from repro.arq.feedback import (
     FeedbackPacket,
     RetransmissionPacket,
@@ -35,6 +40,7 @@ __all__ = [
     "ChunkPlan",
     "chunk_cost_naive",
     "plan_chunks",
+    "plan_chunks_reference",
     "FeedbackPacket",
     "RetransmissionPacket",
     "SegmentData",

@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.arq.runlength import RunLengthPacket
 
 
@@ -53,11 +55,41 @@ def _log2(value: float) -> float:
     return math.log2(value)
 
 
+def _unfold_splits(n_runs: int, split_of) -> list[tuple[int, int]]:
+    """Iteratively unfold a split table into the sorted chunk list.
+
+    ``split_of(i, j)`` returns the DP's chosen split point for the
+    interval, or a negative value / ``None`` for "keep whole".  An
+    explicit stack replaces the old recursion, which hit Python's
+    recursion limit on packets with ~1000 bad runs (worst-case split
+    chains recurse once per run).
+    """
+    chunks: list[tuple[int, int]] = []
+    stack: list[tuple[int, int]] = [(0, n_runs - 1)]
+    while stack:
+        i, j = stack.pop()
+        split = split_of(i, j)
+        if split is None or split < i:
+            chunks.append((i, j))
+        else:
+            stack.append((split + 1, j))
+            stack.append((i, split))
+    chunks.sort()
+    return chunks
+
+
 def plan_chunks(
     runs: RunLengthPacket,
     checksum_bits: int = 32,
 ) -> ChunkPlan:
     """Run the Eq. 4/5 DP and return the optimal chunking.
+
+    The O(L^3) table fills one anti-diagonal (interval span) at a time;
+    within a span, the minimization over split points ``k`` runs as a
+    single 2-D numpy reduction over every interval of that span at
+    once.  Costs and chosen splits are float-identical to
+    :func:`plan_chunks_reference` (ties resolve to the smallest ``k``,
+    and a split must beat keeping the chunk whole *strictly*).
 
     Parameters
     ----------
@@ -68,6 +100,78 @@ def plan_chunks(
         lengths in *symbols worth of bits* — we convert good-run symbol
         counts to bits (4 bits/symbol) before comparing, since both
         terms of min(λg, λ_C) are feedback payload sizes.
+    """
+    if checksum_bits <= 0:
+        raise ValueError(
+            f"checksum_bits must be positive, got {checksum_bits}"
+        )
+    if runs.all_good:
+        return ChunkPlan(chunks=(), segments=(), cost_bits=0.0)
+
+    n_runs = runs.n_bad_runs
+    log_s = _log2(max(runs.n_symbols, 2))
+    bits_per_symbol = 4
+    good_bits = np.array(
+        [g * bits_per_symbol for g in runs.good], dtype=np.int64
+    )
+    bad = np.asarray(runs.bad, dtype=np.int64)
+
+    # cost[i, j] / split[i, j] over 0 <= i <= j < n_runs; split < i
+    # encodes "keep as one chunk".
+    cost = np.zeros((n_runs, n_runs))
+    split = np.full((n_runs, n_runs), -1, dtype=np.int64)
+
+    # Base cases (Eq. 4), matching the reference's operation order
+    # (log_s + log2 + min) so the floats agree to the last ulp.
+    diag = np.arange(n_runs)
+    cost[diag, diag] = (
+        log_s + np.log2(np.maximum(bad, 2))
+    ) + np.minimum(good_bits, checksum_bits)
+
+    # Interior-good prefix sums: sum(good_bits[i:j]) = prefix[j] -
+    # prefix[i], exact in int64.
+    prefix = np.concatenate([[0], np.cumsum(good_bits)])
+    two_log_s = 2 * log_s
+
+    # Bottom-up over interval spans (Eq. 5), one diagonal per pass.
+    for span in range(2, n_runs + 1):
+        i_idx = np.arange(n_runs - span + 1)
+        j_idx = i_idx + span - 1
+        # Keep c_{i,j} whole: describe one range, resend the interior
+        # good runs.
+        whole = two_log_s + (prefix[j_idx] - prefix[i_idx])
+        # Split candidates k = i + m: left interval ends at k, right
+        # starts at k + 1.
+        m_idx = np.arange(span - 1)
+        left = cost[i_idx[:, None], i_idx[:, None] + m_idx]
+        right = cost[i_idx[:, None] + m_idx + 1, j_idx[:, None]]
+        totals = left + right
+        best_m = np.argmin(totals, axis=1)
+        best_split_cost = totals[i_idx, best_m]
+        # The reference scan starts from "whole" and replaces only on
+        # strictly smaller, taking the first minimizing k (argmin is
+        # first-match too).
+        use_split = best_split_cost < whole
+        cost[i_idx, j_idx] = np.where(use_split, best_split_cost, whole)
+        split[i_idx, j_idx] = np.where(use_split, i_idx + best_m, -1)
+
+    chunks = _unfold_splits(n_runs, lambda i, j: int(split[i, j]))
+    segments = tuple(runs.chunk_span(i, j) for i, j in chunks)
+    return ChunkPlan(
+        chunks=tuple(chunks),
+        segments=segments,
+        cost_bits=float(cost[0, n_runs - 1]),
+    )
+
+
+def plan_chunks_reference(
+    runs: RunLengthPacket,
+    checksum_bits: int = 32,
+) -> ChunkPlan:
+    """Pure-Python Eq. 4/5 DP — the executable specification.
+
+    Retained as the ground truth :func:`plan_chunks` is pinned against
+    by the equivalence suite; see that function for the cost model.
     """
     if checksum_bits <= 0:
         raise ValueError(
@@ -111,19 +215,9 @@ def plan_chunks(
                     best_split = k
             memo[(i, j)] = (best_cost, best_split)
 
-    # Reconstruct the partition of [0, L) into chunks.
-    chunks: list[tuple[int, int]] = []
-
-    def _reconstruct(i: int, j: int) -> None:
-        _, split = memo[(i, j)]
-        if split is None:
-            chunks.append((i, j))
-        else:
-            _reconstruct(i, split)
-            _reconstruct(split + 1, j)
-
-    _reconstruct(0, n_runs - 1)
-    chunks.sort()
+    chunks = _unfold_splits(
+        n_runs, lambda i, j: memo[(i, j)][1]
+    )
     segments = tuple(runs.chunk_span(i, j) for i, j in chunks)
     return ChunkPlan(
         chunks=tuple(chunks),

@@ -290,6 +290,18 @@ class PpArqReceiver:
                 )
                 state.verified[start:end] = False
 
+    def decoded_symbols(self, seq: int) -> np.ndarray:
+        """The current reassembled symbol buffer for ``seq`` (read-only).
+
+        Public accessor for callers (sessions, diagnostics) that need
+        the receiver's best-so-far symbols — e.g. to checksum a fully
+        decoded packet into an ACK — without reaching into the
+        per-packet reassembly state.
+        """
+        symbols = self._require(seq).symbols.view()
+        symbols.flags.writeable = False
+        return symbols
+
     def is_complete(self, seq: int) -> bool:
         """True when the reassembled wire payload passes its CRC-32."""
         state = self._states.get(seq)
@@ -371,7 +383,7 @@ class PpArqSession:
                     segments=(),
                     gap_checksums=(
                         segment_checksum(
-                            self._receiver._states[seq].symbols
+                            self._receiver.decoded_symbols(seq)
                         ),
                     ),
                 )

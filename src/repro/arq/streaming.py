@@ -162,11 +162,11 @@ class StreamingPpArqSession:
         from repro.arq.feedback import FeedbackPacket, segment_checksum
 
         if self._receiver.is_complete(seq):
-            state = self._receiver._states[seq]
+            symbols = self._receiver.decoded_symbols(seq)
             return FeedbackPacket(
                 seq=seq,
-                n_symbols=state.symbols.size,
+                n_symbols=symbols.size,
                 segments=(),
-                gap_checksums=(segment_checksum(state.symbols),),
+                gap_checksums=(segment_checksum(symbols),),
             )
         return self._receiver.build_feedback(seq)

@@ -86,12 +86,16 @@ class CapacityRuns:
         duration_s: float = DEFAULT_DURATION_S,
         seed: int = DEFAULT_SEED,
         payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+        batch_decode: bool = True,
     ) -> None:
         if duration_s <= 0:
             raise ValueError(f"duration must be positive, got {duration_s}")
         self.duration_s = float(duration_s)
         self.seed = int(seed)
         self.payload_bytes = int(payload_bytes)
+        # Fused per-trial reception decoding (bit-identical to the
+        # per-packet path; see SimulationConfig.batch_decode).
+        self.batch_decode = bool(batch_decode)
         self._cache: dict[tuple[float, bool], SimulationResult] = {}
 
     def get(
@@ -106,6 +110,7 @@ class CapacityRuns:
                 duration_s=self.duration_s,
                 carrier_sense=carrier_sense,
                 seed=self.seed,
+                batch_decode=self.batch_decode,
             )
             self._cache[key] = NetworkSimulation(config).run()
         return self._cache[key]

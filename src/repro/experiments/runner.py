@@ -48,16 +48,26 @@ EXPERIMENTS = {
 
 
 def run_experiments(
-    names: list[str], duration_s: float = 40.0, seed: int = 2007
+    names: list[str],
+    duration_s: float = 40.0,
+    seed: int = 2007,
+    batch_decode: bool = True,
 ) -> list[ExperimentResult]:
-    """Run the named experiments against one shared run cache."""
+    """Run the named experiments against one shared run cache.
+
+    ``batch_decode`` selects the fused per-trial reception decoding
+    (the default); disabling it decodes per packet, for cross-checks
+    and profiling — the results are bit-identical either way.
+    """
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise ValueError(
             f"unknown experiments: {unknown}; "
             f"available: {sorted(EXPERIMENTS)}"
         )
-    runs = CapacityRuns(duration_s=duration_s, seed=seed)
+    runs = CapacityRuns(
+        duration_s=duration_s, seed=seed, batch_decode=batch_decode
+    )
     results = []
     for name in names:
         start = time.perf_counter()
@@ -90,13 +100,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=2007, help="experiment seed"
     )
+    parser.add_argument(
+        "--no-batch-decode",
+        action="store_true",
+        help="decode receptions per packet instead of per-trial "
+        "batches (bit-identical; for cross-checks and profiling)",
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if args.all else args.experiment
     if not names:
         parser.error("pass --all or --experiment ID [ID ...]")
     duration = 15.0 if args.quick else 40.0
-    results = run_experiments(names, duration_s=duration, seed=args.seed)
+    results = run_experiments(
+        names,
+        duration_s=duration,
+        seed=args.seed,
+        batch_decode=not args.no_batch_decode,
+    )
 
     failed = 0
     for result in results:

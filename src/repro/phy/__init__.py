@@ -13,6 +13,11 @@ Two fidelity levels share one decoding core:
   test suite.
 """
 
+from repro.phy.batch import (
+    BatchReceptionEngine,
+    decode_samples_batch,
+    decode_words_batch,
+)
 from repro.phy.codebook import Codebook, RandomCodebook, ZigbeeCodebook
 from repro.phy.decoder import (
     HardDecisionDecoder,
@@ -47,6 +52,9 @@ from repro.phy.convolutional import (
 )
 
 __all__ = [
+    "BatchReceptionEngine",
+    "decode_samples_batch",
+    "decode_words_batch",
     "ConvolutionalCode",
     "SovaDecoder",
     "SovaResult",

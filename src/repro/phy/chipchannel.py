@@ -93,6 +93,14 @@ def transmit_chipwords(
     p = np.broadcast_to(
         np.asarray(chip_error_prob, dtype=np.float64), (n,)
     )
+    # NaN compares false to both bounds, so a plain range check lets it
+    # through and the channel silently flips nothing; reject non-finite
+    # probabilities explicitly.
+    if not np.all(np.isfinite(p)):
+        raise ValueError(
+            "chip error probability must be finite, got non-finite "
+            "values (NaN or infinity)"
+        )
     if np.any((p < 0) | (p > 1)):
         raise ValueError("chip error probability must be in [0, 1]")
     if n == 0:

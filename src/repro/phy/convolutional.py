@@ -18,6 +18,16 @@ Hints follow the library convention (lower = more confident):
 ``hint = -reliability``, so a decisively-decoded bit gets a large
 negative hint and a coin-flip decision gets a hint near 0.  Only the
 monotone ordering matters to higher layers (paper §3.3).
+
+Two implementations share the decoder:
+
+* :meth:`SovaDecoder.decode` — the production path.  The per-state
+  add-compare-select runs as numpy array ops over all trellis states
+  (and, via :meth:`SovaDecoder.decode_batch`, over many packets) at
+  once; only the unavoidable time recursion stays a Python loop.
+* :meth:`SovaDecoder.decode_reference` — the original pure-Python
+  trellis walk, retained as the executable specification that the
+  equivalence suite pins the vectorized path against bit-for-bit.
 """
 
 from __future__ import annotations
@@ -156,6 +166,13 @@ class SovaDecoder:
                 f"update_window must be >= 1, got {self._window}"
             )
         self._next_state, self._outputs = self._code.transitions()
+        self._pred_state, self._pred_bit = self._predecessor_tables()
+        # Antipodal branch outputs gathered per (destination, slot):
+        # row s of the flat (n_states * 2, n) matrix is the output of
+        # the transition entering via flat predecessor index s.
+        antipodal = 1.0 - 2.0 * self._outputs  # (state, input, n)
+        self._antipodal_flat = antipodal.reshape(-1, antipodal.shape[-1])
+        self._pred_flat = self._pred_state * 2 + self._pred_bit
 
     @property
     def code(self) -> ConvolutionalCode:
@@ -170,22 +187,164 @@ class SovaDecoder:
         bits = np.asarray(bits, dtype=np.int64)
         return confidence * (1.0 - 2.0 * bits)
 
+    def _predecessor_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-state predecessor tables for the vectorized forward pass.
+
+        Every state of a feed-forward shift register has exactly two
+        predecessors; slots are ordered by ascending predecessor state
+        so tie-breaking matches the reference decoder's scan order.
+        """
+        n_states = self._code.n_states
+        pred_state = np.zeros((n_states, 2), dtype=np.int64)
+        pred_bit = np.zeros((n_states, 2), dtype=np.int64)
+        fill = np.zeros(n_states, dtype=np.int64)
+        for state in range(n_states):
+            for bit in (0, 1):
+                dest = self._next_state[state, bit]
+                slot = fill[dest]
+                pred_state[dest, slot] = state
+                pred_bit[dest, slot] = bit
+                fill[dest] += 1
+        assert np.all(fill == 2), "trellis must be 2-regular"
+        return pred_state, pred_bit
+
+    def _check_length(self, size: int) -> int:
+        """Validate an LLR count; returns the number of trellis steps."""
+        n = self._code.rate_inverse
+        if size % n != 0:
+            raise ValueError(
+                f"LLR count {size} is not a multiple of {n}"
+            )
+        n_steps = size // n
+        if n_steps <= self._code.constraint - 1:
+            raise ValueError("input too short for a terminated trellis")
+        return n_steps
+
     def decode(self, llrs: np.ndarray) -> SovaResult:
         """Decode terminated LLRs into bits + SOVA hints.
 
         The LLR count must be a multiple of the code rate inverse; the
-        trailing K-1 flush bits are stripped from the result.
+        trailing K-1 flush bits are stripped from the result.  This is
+        the vectorized path; it is bit- and hint-exact versus
+        :meth:`decode_reference`.
+        """
+        llrs = np.asarray(llrs, dtype=np.float64)
+        self._check_length(llrs.size)
+        return self._decode_block(llrs[None, :])[0]
+
+    def decode_batch(self, llrs_list) -> list[SovaResult]:
+        """Decode many packets in fused batched trellis passes.
+
+        Packets of equal coded length share one forward/traceback pass
+        with a leading batch dimension, so the per-step numpy dispatch
+        overhead is amortised across the whole batch.  Results come
+        back in input order and match :meth:`decode` exactly.
+        """
+        arrays = [
+            np.asarray(llrs, dtype=np.float64) for llrs in llrs_list
+        ]
+        for arr in arrays:
+            self._check_length(arr.size)
+        by_length: dict[int, list[int]] = {}
+        for idx, arr in enumerate(arrays):
+            by_length.setdefault(arr.size, []).append(idx)
+        results: list[SovaResult | None] = [None] * len(arrays)
+        for indices in by_length.values():
+            block = np.stack([arrays[i] for i in indices])
+            decoded = self._decode_block(block)
+            for i, result in zip(indices, decoded):
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+    def _decode_block(self, llr_block: np.ndarray) -> list[SovaResult]:
+        """Vectorized SOVA over a ``(batch, coded_bits)`` LLR block."""
+        n = self._code.rate_inverse
+        n_batch = llr_block.shape[0]
+        n_steps = llr_block.shape[1] // n
+        memory = self._code.constraint - 1
+        n_states = self._code.n_states
+        batch_idx = np.arange(n_batch)
+
+        # Branch metrics for every (t, destination, predecessor slot):
+        # correlate each step's LLRs against the antipodal outputs of
+        # the transition entering through that slot.
+        step_llrs = llr_block.reshape(n_batch, n_steps, n)
+        branch = (step_llrs @ self._antipodal_flat.T)[
+            ..., self._pred_flat
+        ]  # (batch, steps, states, 2)
+
+        metrics = np.full((n_batch, n_states), -np.inf)
+        metrics[:, 0] = 0.0
+        survivor_slot = np.zeros(
+            (n_batch, n_steps, n_states), dtype=bool
+        )
+        bests = np.empty((n_batch, n_steps, n_states))
+        seconds = np.empty((n_batch, n_steps, n_states))
+
+        pred_state = self._pred_state
+        for t in range(n_steps):
+            cand = metrics[:, pred_state]
+            cand += branch[:, t]
+            c0 = cand[..., 0]
+            c1 = cand[..., 1]
+            # Slot 0 is the lower predecessor state; the reference
+            # scan only replaces on "strictly greater", so ties keep
+            # slot 0 — hence c1 must be strictly greater to win.
+            take1 = c1 > c0
+            survivor_slot[:, t] = take1
+            bests[:, t] = np.where(take1, c1, c0)
+            seconds[:, t] = np.where(take1, c0, c1)
+            metrics = bests[:, t]
+
+        # A merge whose losing branch is unreachable (metric -inf) has
+        # an infinite margin; best - second would be NaN only when both
+        # are -inf, i.e. the state itself is unreachable.
+        with np.errstate(invalid="ignore"):
+            merge_margin = np.where(
+                np.isneginf(seconds), np.inf, bests - seconds
+            )
+
+        # Traceback from the zero state (terminated trellis),
+        # vectorized across the batch.
+        state = np.zeros(n_batch, dtype=np.int64)
+        decoded = np.zeros((n_batch, n_steps), dtype=np.uint8)
+        margins = np.empty((n_batch, n_steps))
+        for t in range(n_steps - 1, -1, -1):
+            slot = survivor_slot[batch_idx, t, state].astype(np.int8)
+            decoded[:, t] = self._pred_bit[state, slot]
+            margins[:, t] = merge_margin[batch_idx, t, state]
+            state = self._pred_state[state, slot]
+
+        # Simplified SOVA: a bit's reliability is the smallest merge
+        # margin within the update window ahead of it.  Pad with +inf
+        # so windows overhanging the packet end shrink, then take the
+        # per-window min in one strided pass.
+        padded = np.pad(
+            margins,
+            ((0, 0), (0, self._window - 1)),
+            constant_values=np.inf,
+        )
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, self._window, axis=1
+        )
+        hints = -windows.min(axis=2)
+
+        keep = n_steps - memory
+        return [
+            SovaResult(bits=decoded[b, :keep], hints=hints[b, :keep])
+            for b in range(n_batch)
+        ]
+
+    def decode_reference(self, llrs: np.ndarray) -> SovaResult:
+        """Pure-Python loop SOVA — the executable specification.
+
+        Retained (not dead code) as the ground truth the equivalence
+        suite and benchmarks pin :meth:`decode` against.
         """
         llrs = np.asarray(llrs, dtype=np.float64)
         n = self._code.rate_inverse
-        if llrs.size % n != 0:
-            raise ValueError(
-                f"LLR count {llrs.size} is not a multiple of {n}"
-            )
-        n_steps = llrs.size // n
+        n_steps = self._check_length(llrs.size)
         memory = self._code.constraint - 1
-        if n_steps <= memory:
-            raise ValueError("input too short for a terminated trellis")
         n_states = self._code.n_states
         neg_inf = -np.inf
 

@@ -81,9 +81,11 @@ class SoftDecisionDecoder:
     ``C(R, C_i) = sum_j (2 c_ij - 1) r_ij``.
 
     The hint must be lower-is-better, so we report the *normalised
-    negative margin*: ``(second_best - best) / chips_per_symbol`` shifted
-    to be non-negative — 0 when the winner is maximally separated, large
-    when the decision was nearly a tie.
+    negative margin*: with ±1 samples the margin ranges in ``[0, 2B]``
+    and ``(2B - margin) / 4`` maps it to ``[0, B/2]`` — 0 when the
+    winner is maximally separated, ``B/2`` when the decision was a
+    dead tie.  (Noisy samples can push the margin past ``2B`` and the
+    hint slightly negative; only the ordering matters upstream.)
     """
 
     def __init__(self, codebook: Codebook) -> None:
@@ -99,13 +101,19 @@ class SoftDecisionDecoder:
         chip_samples = np.asarray(chip_samples, dtype=np.float64)
         signs = self._codebook.sign_matrix
         corr = chip_samples @ signs.T
-        order = np.argsort(corr, axis=1)
-        best_idx = order[:, -1]
-        second_idx = order[:, -2]
-        rows = np.arange(corr.shape[0])
-        margin = corr[rows, best_idx] - corr[rows, second_idx]
-        # Margin ranges in [0, 2B]; map to a lower-is-better hint in
-        # [0, B] comparable in spirit to a Hamming distance.
+        # Only the top-2 correlations matter (winner + margin), so an
+        # O(n_codewords) partition beats the old full argsort on this
+        # per-reception hot path.
+        top2 = np.argpartition(corr, -2, axis=1)[:, -2:]
+        vals = np.take_along_axis(corr, top2, axis=1)
+        first_larger = (vals[:, 0] > vals[:, 1]) | (
+            (vals[:, 0] == vals[:, 1]) & (top2[:, 0] < top2[:, 1])
+        )
+        best_idx = np.where(first_larger, top2[:, 0], top2[:, 1])
+        margin = np.abs(vals[:, 0] - vals[:, 1])
+        # Map the margin (in [0, 2B] for ±1 samples) to a
+        # lower-is-better hint in [0, B/2] comparable in spirit to a
+        # Hamming distance.
         hints = (2.0 * self._codebook.chips_per_symbol - margin) / 4.0
         return DecodeResult(symbols=best_idx.astype(np.int64), hints=hints)
 

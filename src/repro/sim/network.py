@@ -36,6 +36,7 @@ from repro.link.frame import (
     parse_header_bytes,
     parse_trailer_bytes,
 )
+from repro.phy.batch import BatchReceptionEngine
 from repro.phy.chipchannel import (
     chip_error_probability_interference,
     transmit_chipwords,
@@ -75,6 +76,10 @@ class SimulationConfig:
     wall_loss_db: float = 9.0
     fading_sigma_db: float = 3.0
     csma: CsmaConfig | None = None
+    # Decode a whole run's receptions in one fused nearest-codeword
+    # pass (bit-identical to per-reception decoding; disable only to
+    # cross-check or profile the unbatched path).
+    batch_decode: bool = True
 
     def __post_init__(self) -> None:
         if self.load_bits_per_s_per_node <= 0:
@@ -160,6 +165,23 @@ class SimulationResult:
             (r for r in self.records if r.receiver == receiver),
             key=lambda r: r.start,
         )
+
+
+@dataclass
+class _PendingReception:
+    """A reception that has crossed the channel but not been decoded.
+
+    Staging receptions lets the run decode every pair's corrupted
+    codewords in one fused nearest-codeword pass (the chip channel
+    must still run per pair, in a fixed order, to keep the RNG stream
+    identical to the unbatched path).
+    """
+
+    tx: Transmission
+    receiver: int
+    truth_words: np.ndarray
+    rx_words: np.ndarray
+    changed: np.ndarray  # indices of codewords the channel corrupted
 
 
 class NetworkSimulation:
@@ -294,14 +316,20 @@ class NetworkSimulation:
 
     # -- phase 2: chip-level reception ---------------------------------------
 
-    def _decode_reception(
+    def _channel_transit(
         self,
         tx: Transmission,
         receiver: int,
         all_tx: list[Transmission],
         rng: np.random.Generator,
         fades: dict[tuple[int, int], float],
-    ) -> ReceptionRecord | None:
+    ) -> "_PendingReception | None":
+        """Run one (transmission, receiver) pair through the channel.
+
+        Produces the received chip words and the indices of corrupted
+        codewords, leaving nearest-codeword decoding to the caller so
+        a whole trial's receptions can be decoded in one fused batch.
+        """
         cfg = self._config
         fade = fades.get((tx.tx_id, receiver), 1.0)
         signal_mw = self._medium.rx_power_mw(tx.sender, receiver) * fade
@@ -328,8 +356,7 @@ class NetworkSimulation:
             np.full(interference.size, snr), isr
         )
 
-        truth = tx.symbols
-        truth_words = self._codebook.encode_words(truth)
+        truth_words = self._codebook.encode_words(tx.symbols)
         rx_words = truth_words.copy()
         # Only symbols with non-negligible flip probability need the
         # stochastic channel; the rest pass through verbatim.
@@ -338,14 +365,33 @@ class NetworkSimulation:
             rx_words[hot] = transmit_chipwords(
                 truth_words[hot], p[hot], rng
             )
+        changed = np.flatnonzero(rx_words != truth_words)
+        return _PendingReception(
+            tx=tx,
+            receiver=receiver,
+            truth_words=truth_words,
+            rx_words=rx_words,
+            changed=changed,
+        )
+
+    def _finalize_record(
+        self,
+        pending: "_PendingReception",
+        decoded_symbols: np.ndarray,
+        decoded_dists: np.ndarray,
+    ) -> ReceptionRecord:
+        """Assemble a record from a transit plus its decoded codewords."""
+        cfg = self._config
+        tx = pending.tx
+        truth = tx.symbols
+        truth_words = pending.truth_words
+        rx_words = pending.rx_words
+        changed = pending.changed
         symbols = truth.copy()
         hints = np.zeros(truth.size, dtype=np.float64)
-        changed = np.flatnonzero(rx_words != truth_words)
         if changed.size:
-            dec, dist = self._codebook.decode_hard(rx_words[changed])
-            symbols = symbols.copy()
-            symbols[changed] = dec
-            hints[changed] = dist
+            symbols[changed] = decoded_symbols
+            hints[changed] = decoded_dists
 
         n = truth.size
         width = self._codebook.chips_per_symbol
@@ -378,7 +424,7 @@ class NetworkSimulation:
         return ReceptionRecord(
             tx_id=tx.tx_id,
             sender=tx.sender,
-            receiver=receiver,
+            receiver=pending.receiver,
             start=tx.start,
             preamble_detectable=preamble_detectable,
             header_ok=header_ok,
@@ -391,6 +437,38 @@ class NetworkSimulation:
             payload_start=SYMBOLS_PER_BYTE * HEADER_BYTES,
             payload_end=body.size - SYMBOLS_PER_BYTE * TRAILER_BYTES,
         )
+
+    def _decode_pendings(
+        self, pendings: list["_PendingReception"]
+    ) -> list[ReceptionRecord]:
+        """Decode staged receptions, fused into one call when batching.
+
+        Both paths are bit-identical: nearest-codeword decoding is
+        independent per word, so concatenating every reception's
+        corrupted words into one matrix changes only the call count.
+        """
+        if self._config.batch_decode:
+            engine = BatchReceptionEngine(self._codebook)
+            decoded = engine.decode_hard_ragged(
+                [p.rx_words[p.changed] for p in pendings]
+            )
+            return [
+                self._finalize_record(pending, symbols, dists)
+                for pending, (symbols, dists) in zip(pendings, decoded)
+            ]
+        records = []
+        empty = np.zeros(0, dtype=np.int64)
+        for pending in pendings:
+            if pending.changed.size:
+                symbols, dists = self._codebook.decode_hard(
+                    pending.rx_words[pending.changed]
+                )
+            else:
+                symbols, dists = empty, empty
+            records.append(
+                self._finalize_record(pending, symbols, dists)
+            )
+        return records
 
     def _draw_fades(
         self, transmissions: list[Transmission]
@@ -449,16 +527,17 @@ class NetworkSimulation:
         transmissions = self._generate_transmissions()
         rng = derive_rng(cfg.seed, "chip-channel")
         fades = self._draw_fades(transmissions)
-        records: list[ReceptionRecord] = []
+        pendings: list[_PendingReception] = []
         for tx in transmissions:
             for receiver in self._testbed.receiver_ids:
                 if receiver == tx.sender:
                     continue
-                rec = self._decode_reception(
+                pending = self._channel_transit(
                     tx, receiver, transmissions, rng, fades
                 )
-                if rec is not None:
-                    records.append(rec)
+                if pending is not None:
+                    pendings.append(pending)
+        records = self._decode_pendings(pendings)
         self._arbitrate_locks(records)
         return SimulationResult(
             config=cfg,

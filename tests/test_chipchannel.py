@@ -113,6 +113,22 @@ class TestTransmitChipwords:
         with pytest.raises(ValueError):
             transmit_chipwords(np.zeros(1, dtype=np.uint32), 1.5, rng)
 
+    def test_nan_probability_rejected(self, rng):
+        """NaN compares false to both range bounds, so the old check
+        let it through and the channel silently produced no flips."""
+        words = np.zeros(4, dtype=np.uint32)
+        with pytest.raises(ValueError, match="finite"):
+            transmit_chipwords(words, np.nan, rng)
+        p = np.array([0.1, np.nan, 0.2, 0.0])
+        with pytest.raises(ValueError, match="finite"):
+            transmit_chipwords(words, p, rng)
+
+    def test_infinite_probability_rejected(self, rng):
+        with pytest.raises(ValueError, match="finite"):
+            transmit_chipwords(
+                np.zeros(2, dtype=np.uint32), np.inf, rng
+            )
+
 
 class TestSinrTimeline:
     def test_interference_raises_error_probability(self):

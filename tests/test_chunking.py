@@ -164,3 +164,38 @@ class TestCostBounds:
         runs = RunLengthPacket.from_labels(np.ones(10, dtype=bool))
         assert chunk_cost_naive(runs) == 0.0
         assert merged_single_chunk_cost(runs) == 0.0
+
+
+class TestLargeRunReconstruction:
+    def test_many_bad_runs_no_recursion_limit(self):
+        """Packets with hundreds of bad runs used to blow Python's
+        recursion limit during chunk reconstruction (one frame per
+        split).  The iterative unfold must survive a split chain far
+        deeper than any recursion budget."""
+        import sys
+
+        n_bad = 300
+        mask = np.ones(n_bad * 40, dtype=bool)
+        mask[::40] = False  # singleton bad runs, huge good gaps
+        runs = RunLengthPacket.from_labels(mask)
+        assert runs.n_bad_runs == n_bad
+
+        frame, depth = sys._getframe(), 0
+        while frame is not None:
+            depth += 1
+            frame = frame.f_back
+        limit = sys.getrecursionlimit()
+        try:
+            # Tight budget above the frames already on the stack: a
+            # per-split recursive reconstruction would need ~n_bad
+            # more frames and die here.
+            sys.setrecursionlimit(depth + 60)
+            plan = plan_chunks(runs, checksum_bits=8)
+        finally:
+            sys.setrecursionlimit(limit)
+        # Huge interior good runs make merging hopeless: every bad run
+        # stays its own chunk, the worst case for reconstruction depth.
+        assert len(plan.chunks) == n_bad
+        assert plan.chunks[0] == (0, 0)
+        assert plan.chunks[-1] == (n_bad - 1, n_bad - 1)
+        assert plan.n_requested_symbols == n_bad

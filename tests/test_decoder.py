@@ -79,6 +79,31 @@ class TestSoftDecisionDecoder:
         with pytest.raises(ValueError):
             SoftDecisionDecoder(codebook).decode_samples(np.zeros((2, 8)))
 
+    def test_hint_range_matches_docstring(self, codebook, rng):
+        """With ±1 samples the hint lands in [0, B/2]: 0 for a clean
+        maximally-separated winner, B/2 for a dead tie."""
+        decoder = SoftDecisionDecoder(codebook)
+        symbols = rng.integers(0, 16, 50)
+        clean = codebook.encode(symbols).reshape(-1, 32) * 2.0 - 1.0
+        hints = decoder.decode_samples(clean).hints
+        half_b = codebook.chips_per_symbol / 2.0
+        assert np.all(hints >= 0.0)
+        assert np.all(hints <= half_b + 1e-12)
+
+    def test_top2_selection_matches_full_sort(self, codebook, rng):
+        """The argpartition fast path must agree with a full argsort
+        on which codeword wins and by what margin."""
+        decoder = SoftDecisionDecoder(codebook)
+        samples = rng.normal(0.0, 1.0, (500, 32))
+        result = decoder.decode_samples(samples)
+        corr = samples @ codebook.sign_matrix.T
+        order = np.argsort(corr, axis=1)
+        rows = np.arange(corr.shape[0])
+        assert np.array_equal(result.symbols, order[:, -1])
+        margin = corr[rows, order[:, -1]] - corr[rows, order[:, -2]]
+        expected = (2.0 * codebook.chips_per_symbol - margin) / 4.0
+        assert np.allclose(result.hints, expected, rtol=0, atol=1e-12)
+
 
 class TestMatchedFilterHinter:
     def test_full_amplitude_zero_hint(self):

@@ -167,6 +167,20 @@ class TestReceiver:
         with pytest.raises(ValueError):
             PpArqReceiver(eta=-0.5)
 
+    def test_decoded_symbols_accessor(self):
+        """Public read-only view of the reassembly buffer, so sessions
+        need not reach into the private per-packet state."""
+        receiver = PpArqReceiver()
+        truth = bytes_to_symbols(b"abcdef")
+        receiver.receive_data(2, _soft(truth))
+        symbols = receiver.decoded_symbols(2)
+        assert np.array_equal(symbols, truth)
+        assert not symbols.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            symbols[0] = 1
+        with pytest.raises(KeyError):
+            receiver.decoded_symbols(99)
+
 
 class TestSessions:
     def test_clean_channel_single_round(self):

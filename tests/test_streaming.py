@@ -113,3 +113,13 @@ class TestStreamingSession:
             StreamingPpArqSession(
                 _clean_channel, max_rounds_per_packet=0
             )
+
+    def test_feedback_uses_public_accessor(self):
+        """Completion ACKs checksum the receiver's buffer through
+        decoded_symbols(), not the private _states dict."""
+        session = StreamingPpArqSession(_clean_channel)
+        log = session.transfer_stream([b"payload one"])
+        assert log.packets_delivered == 1
+        assert session.receiver.reassembled_payload(0) == b"payload one"
+        symbols = session.receiver.decoded_symbols(0)
+        assert not symbols.flags.writeable
