@@ -200,8 +200,14 @@ def test_bench_ablation_diversity_combining(benchmark, shared_runs):
 
     stats = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\ndiversity combining:", stats)
-    # Combining never loses to the best single receiver...
-    assert stats["min_gain_vs_best"] >= -1e-12
+    # Combining essentially never loses to the best single receiver.
+    # Strict dominance is not a theorem: a copy decoded to the *wrong*
+    # codeword at a *lower* Hamming distance (a confident miss) can
+    # displace another receiver's correct symbol, so under genuinely
+    # colliding traffic a rare transmission may lose a symbol or two;
+    # allow that slack while gating out any systematic loss.
+    assert stats["min_gain_vs_best"] >= -0.005
+    assert stats["gain_vs_best_single"] >= 0.0
     # ...and beats being stuck with a randomly-assigned receiver (what
     # a node without MRD gets).  Most transmissions arrive clean at
     # someone, so the mean gain is a fraction of a percent of *all*

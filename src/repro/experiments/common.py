@@ -10,7 +10,10 @@ per condition.
 
 from __future__ import annotations
 
+import multiprocessing
+import sys
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.link.schemes import (
     DeliveryScheme,
@@ -78,8 +81,41 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+def _preferred_mp_context() -> multiprocessing.context.BaseContext:
+    """``fork`` on Linux (cheap; no re-import), else ``spawn``.
+
+    macOS also *offers* fork, but forking a process with initialised
+    BLAS/framework state is unsafe there (the reason CPython switched
+    the macOS default to spawn), so only Linux takes the fast path.
+    """
+    use_fork = sys.platform == "linux" and (
+        "fork" in multiprocessing.get_all_start_methods()
+    )
+    return multiprocessing.get_context("fork" if use_fork else "spawn")
+
+
+def _simulate_point(
+    args: tuple[tuple[float, bool], SimulationConfig],
+) -> tuple[tuple[float, bool], SimulationResult]:
+    """Worker body: one (load, carrier-sense) point, start to finish.
+
+    Module-level so it pickles under every start method.  Each point is
+    a fully independent simulation — its streams derive from the seed
+    and per-pair keys, never from process or execution order — which is
+    what makes the fan-out deterministic for any worker count.
+    """
+    key, config = args
+    return key, NetworkSimulation(config).run()
+
+
 class CapacityRuns:
-    """Cache of testbed simulation runs keyed by (load, carrier sense)."""
+    """Cache of testbed simulation runs keyed by (load, carrier sense).
+
+    ``jobs`` > 1 fans *uncached* points across worker processes when
+    several are requested at once (:meth:`prefetch`); results are
+    bit-identical for any worker count, including ``jobs=1``, because
+    every point's randomness is derived from ``(seed, point)`` alone.
+    """
 
     def __init__(
         self,
@@ -87,16 +123,67 @@ class CapacityRuns:
         seed: int = DEFAULT_SEED,
         payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
         batch_decode: bool = True,
+        jobs: int = 1,
+        legacy_channel_rng: bool = False,
     ) -> None:
         if duration_s <= 0:
             raise ValueError(f"duration must be positive, got {duration_s}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.duration_s = float(duration_s)
         self.seed = int(seed)
         self.payload_bytes = int(payload_bytes)
         # Fused per-trial reception decoding (bit-identical to the
         # per-packet path; see SimulationConfig.batch_decode).
         self.batch_decode = bool(batch_decode)
+        self.jobs = int(jobs)
+        # Shared-stream chip channel for cross-checks (deprecated; see
+        # SimulationConfig.legacy_channel_rng).
+        self.legacy_channel_rng = bool(legacy_channel_rng)
         self._cache: dict[tuple[float, bool], SimulationResult] = {}
+
+    def _config_for(
+        self, key: tuple[float, bool]
+    ) -> SimulationConfig:
+        load_bps, carrier_sense = key
+        return SimulationConfig(
+            load_bits_per_s_per_node=load_bps,
+            payload_bytes=self.payload_bytes,
+            duration_s=self.duration_s,
+            carrier_sense=carrier_sense,
+            seed=self.seed,
+            batch_decode=self.batch_decode,
+            legacy_channel_rng=self.legacy_channel_rng,
+        )
+
+    def prefetch(
+        self, points: Iterable[tuple[float, bool]]
+    ) -> None:
+        """Simulate any uncached points, in parallel when jobs > 1.
+
+        Points are embarrassingly parallel: each worker runs one whole
+        (load, carrier-sense) simulation.  The cache ends up exactly as
+        if every point had been simulated sequentially.
+        """
+        missing: list[tuple[float, bool]] = []
+        for load_bps, carrier_sense in points:
+            key = (float(load_bps), bool(carrier_sense))
+            if key not in self._cache and key not in missing:
+                missing.append(key)
+        if not missing:
+            return
+        n_workers = min(self.jobs, len(missing))
+        if n_workers == 1:
+            for key in missing:
+                self._cache[key] = _simulate_point(
+                    (key, self._config_for(key))
+                )[1]
+            return
+        ctx = _preferred_mp_context()
+        jobs = [(key, self._config_for(key)) for key in missing]
+        with ctx.Pool(processes=n_workers) as pool:
+            for key, result in pool.map(_simulate_point, jobs):
+                self._cache[key] = result
 
     def get(
         self, load_bps: float, carrier_sense: bool
@@ -104,15 +191,7 @@ class CapacityRuns:
         """The cached run for a load point, simulating on first use."""
         key = (float(load_bps), bool(carrier_sense))
         if key not in self._cache:
-            config = SimulationConfig(
-                load_bits_per_s_per_node=load_bps,
-                payload_bytes=self.payload_bytes,
-                duration_s=self.duration_s,
-                carrier_sense=carrier_sense,
-                seed=self.seed,
-                batch_decode=self.batch_decode,
-            )
-            self._cache[key] = NetworkSimulation(config).run()
+            self.prefetch([key])
         return self._cache[key]
 
     def clear(self) -> None:

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro.experiments.runner --all
     python -m repro.experiments.runner --experiment fig3 fig16
-    python -m repro.experiments.runner --all --quick   # shorter runs
+    python -m repro.experiments.runner --all --quick     # shorter runs
+    python -m repro.experiments.runner --all --jobs 4    # parallel points
 
 Each experiment prints its ASCII rendering, the paper's expectation,
 and its shape checks.  Exit status is non-zero if any shape check
@@ -29,7 +30,13 @@ from repro.experiments import (
     exp_table1,
     exp_table2,
 )
-from repro.experiments.common import CapacityRuns, ExperimentResult
+from repro.experiments.common import (
+    LOAD_HEAVY,
+    LOAD_MEDIUM,
+    LOAD_MODERATE,
+    CapacityRuns,
+    ExperimentResult,
+)
 
 EXPERIMENTS = {
     "table1": lambda runs: exp_table1.run(runs),
@@ -46,18 +53,56 @@ EXPERIMENTS = {
     "fig16": lambda runs: exp_fig16.run(),
 }
 
+_ALL_LOADS_NO_CS = [
+    (LOAD_MODERATE, False),
+    (LOAD_MEDIUM, False),
+    (LOAD_HEAVY, False),
+]
+
+# The (load, carrier-sense) simulation points each experiment will
+# request from the shared cache.  ``--jobs N`` prefetches the union of
+# the selected experiments' points across worker processes before any
+# experiment runs; an experiment absent from this map simply simulates
+# its points lazily (and sequentially) on first use.
+EXPERIMENT_POINTS: dict[str, list[tuple[float, bool]]] = {
+    "table1": [(LOAD_MODERATE, False), (LOAD_HEAVY, False)],
+    "table2": [(LOAD_HEAVY, False)],
+    "fig3": _ALL_LOADS_NO_CS,
+    "fig8": [(LOAD_MODERATE, True)],
+    "fig9": [(LOAD_MODERATE, False), (LOAD_MODERATE, True)],
+    "fig10": [(LOAD_MODERATE, False), (LOAD_HEAVY, False)],
+    "fig11": [(LOAD_MEDIUM, False)],
+    "fig12": _ALL_LOADS_NO_CS,
+    "fig13": [],
+    "fig14": _ALL_LOADS_NO_CS,
+    "fig15": _ALL_LOADS_NO_CS,
+    "fig16": [],
+}
+
 
 def run_experiments(
     names: list[str],
     duration_s: float = 40.0,
     seed: int = 2007,
     batch_decode: bool = True,
+    jobs: int = 1,
+    legacy_channel_rng: bool = False,
 ) -> list[ExperimentResult]:
     """Run the named experiments against one shared run cache.
 
     ``batch_decode`` selects the fused per-trial reception decoding
     (the default); disabling it decodes per packet, for cross-checks
     and profiling — the results are bit-identical either way.
+
+    ``jobs`` fans the selected experiments' simulation points across
+    that many worker processes before any experiment runs.  Results
+    are bit-identical for every ``jobs`` value: each point's streams
+    derive from the seed and per-pair keys alone, so it does not
+    matter which process simulates it.
+
+    ``legacy_channel_rng`` selects the deprecated shared-stream chip
+    channel (equal in distribution, not bit-identical) for
+    cross-checking.
     """
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -66,8 +111,16 @@ def run_experiments(
             f"available: {sorted(EXPERIMENTS)}"
         )
     runs = CapacityRuns(
-        duration_s=duration_s, seed=seed, batch_decode=batch_decode
+        duration_s=duration_s,
+        seed=seed,
+        batch_decode=batch_decode,
+        jobs=jobs,
+        legacy_channel_rng=legacy_channel_rng,
     )
+    points: list[tuple[float, bool]] = []
+    for name in names:
+        points.extend(EXPERIMENT_POINTS.get(name, []))
+    runs.prefetch(points)
     results = []
     for name in names:
         start = time.perf_counter()
@@ -106,7 +159,25 @@ def main(argv: list[str] | None = None) -> int:
         help="decode receptions per packet instead of per-trial "
         "batches (bit-identical; for cross-checks and profiling)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate up to N (load, carrier-sense) points in "
+        "parallel worker processes; results are bit-identical for "
+        "every N",
+    )
+    parser.add_argument(
+        "--legacy-channel-rng",
+        action="store_true",
+        help="use the deprecated shared-stream chip channel (equal "
+        "in distribution to the default counter-based streams, not "
+        "bit-identical; for cross-checking)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     names = list(EXPERIMENTS) if args.all else args.experiment
     if not names:
@@ -117,6 +188,8 @@ def main(argv: list[str] | None = None) -> int:
         duration_s=duration,
         seed=args.seed,
         batch_decode=not args.no_batch_decode,
+        jobs=args.jobs,
+        legacy_channel_rng=args.legacy_channel_rng,
     )
 
     failed = 0

@@ -27,6 +27,7 @@ from repro.phy.decoder import (
 from repro.phy.chipchannel import (
     chip_error_probability,
     transmit_chipwords,
+    transmit_chipwords_batch,
 )
 from repro.phy.spreading import (
     bits_to_symbols,
@@ -66,6 +67,7 @@ __all__ = [
     "MatchedFilterHinter",
     "chip_error_probability",
     "transmit_chipwords",
+    "transmit_chipwords_batch",
     "bits_to_symbols",
     "bytes_to_symbols",
     "symbols_to_bits",

@@ -7,6 +7,14 @@ Each chip then flips independently with the coherent-MSK error
 probability ``Q(sqrt(2 * SINR))``.  Despreading gain is not applied
 here — it emerges when 32 received chips are jointly decoded to the
 nearest codeword.
+
+Two BSC implementations coexist: :func:`transmit_chipwords` draws from
+a caller-supplied *sequential* generator (one stream shared by every
+consumer, so evaluation order matters), while
+:func:`transmit_chipwords_batch` draws each reception's flips from its
+own counter-based Philox stream keyed on the (transmission, receiver)
+pair, so arbitrarily many receptions can be corrupted in one fused
+call (or sharded across processes) with bit-identical results.
 """
 
 from __future__ import annotations
@@ -93,6 +101,23 @@ def transmit_chipwords(
     p = np.broadcast_to(
         np.asarray(chip_error_prob, dtype=np.float64), (n,)
     )
+    _validate_chip_probs(p)
+    if n == 0:
+        return tx_words.copy()
+    flips = gen.random((n, 32)) < p[:, None]
+    error_words = pack_bits_to_uint32(flips.astype(np.uint8))
+    return tx_words ^ error_words
+
+
+# Words per fused pack/XOR group: bounds the transient (n_words, 32)
+# flip matrix to a few tens of MB however many pairs are fused.
+# Grouping is at pair granularity and cannot change results — each
+# pair's randomness comes from its own keyed stream, not from its
+# place in the batch.
+_BATCH_GROUP_WORDS = 1 << 20
+
+
+def _validate_chip_probs(p: np.ndarray) -> None:
     # NaN compares false to both bounds, so a plain range check lets it
     # through and the channel silently flips nothing; reject non-finite
     # probabilities explicitly.
@@ -103,11 +128,94 @@ def transmit_chipwords(
         )
     if np.any((p < 0) | (p > 1)):
         raise ValueError("chip error probability must be in [0, 1]")
+
+
+def transmit_chipwords_batch(
+    tx_words: np.ndarray,
+    chip_error_prob: np.ndarray,
+    sizes: np.ndarray,
+    keys: np.ndarray,
+) -> np.ndarray:
+    """Keyed-stream BSC over many receptions' words in one fused call.
+
+    The input is any number of (transmission, receiver) pairs' words
+    concatenated flat; ``sizes`` gives each pair's word count and
+    ``keys[i]`` its 128-bit stream key (from ``derive_key(seed,
+    "chip-channel", tx_id, receiver)``).  Pair *i*'s chips flip using
+    uniforms drawn from a counter-based Philox stream under ``keys[i]``
+    — a function of the key and the pair's own draw order only — so
+    the result is bit-identical whether pairs transit one at a time,
+    fused across a whole trial, or sharded over worker processes.
+    Flip generation, packing, and the XOR against the transmitted
+    words run over whole groups of pairs at once.
+
+    Parameters
+    ----------
+    tx_words:
+        ``(n,)`` uint32 transmitted codewords, flat across pairs.
+    chip_error_prob:
+        scalar or ``(n,)`` per-word chip flip probability.
+    sizes:
+        per-pair word counts; must sum to ``n``.
+    keys:
+        ``(len(sizes), 2)`` uint64 per-pair stream keys.
+
+    Returns the received uint32 chip words.
+    """
+    tx_words = np.asarray(tx_words, dtype=np.uint32)
+    n = tx_words.size
+    p = np.broadcast_to(
+        np.asarray(chip_error_prob, dtype=np.float64), (n,)
+    )
+    _validate_chip_probs(p)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if sizes.ndim != 1 or (sizes.size and sizes.min() < 0):
+        raise ValueError("sizes must be a 1-D array of non-negative counts")
+    if int(sizes.sum()) != n:
+        raise ValueError(
+            f"sizes sum to {int(sizes.sum())} but {n} words were given"
+        )
+    keys = np.asarray(keys, dtype=np.uint64)
+    if keys.shape != (sizes.size, 2):
+        raise ValueError(
+            f"keys must be ({sizes.size}, 2) uint64, got {keys.shape}"
+        )
     if n == 0:
         return tx_words.copy()
-    flips = gen.random((n, 32)) < p[:, None]
-    error_words = pack_bits_to_uint32(flips.astype(np.uint8))
-    return tx_words ^ error_words
+
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    # Flip iff a 32-bit uniform falls below p * 2**32: probabilities
+    # quantise at 2**-32 resolution (far below the channel model's own
+    # fidelity) and the integer draws are ~2x cheaper than doubles.
+    thresholds = np.ldexp(p, 32)
+    rx = np.empty(n, dtype=np.uint32)
+    i = 0
+    while i < sizes.size:
+        # Group whole pairs up to the memory bound (always >= 1 pair).
+        j = i + 1
+        g_lo = int(starts[i])
+        while (
+            j < sizes.size
+            and int(starts[j + 1]) - g_lo <= _BATCH_GROUP_WORDS
+        ):
+            j += 1
+        g_hi = int(starts[j])
+        # Every row in the group belongs to exactly one pair below, so
+        # the buffer needs no initialisation.
+        flips = np.empty((g_hi - g_lo, 32), dtype=np.uint8)
+        for k in range(i, j):
+            lo, hi = int(starts[k]) - g_lo, int(starts[k + 1]) - g_lo
+            if hi > lo:
+                gen = np.random.Generator(np.random.Philox(key=keys[k]))
+                uniforms = gen.integers(
+                    0, 1 << 32, size=(hi - lo, 32), dtype=np.uint32
+                )
+                flips[lo:hi] = (
+                    uniforms < thresholds[g_lo + lo : g_lo + hi, None]
+                )
+        rx[g_lo:g_hi] = tx_words[g_lo:g_hi] ^ pack_bits_to_uint32(flips)
+        i = j
+    return rx
 
 
 def sinr_timeline_to_chip_probs(

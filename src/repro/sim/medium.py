@@ -52,6 +52,10 @@ class Transmission:
 
     ``symbols`` is the full on-air symbol stream (sync fields included);
     ``start`` in seconds; duration follows from the symbol period.
+    ``seq`` is the link-layer sequence number carried in the frame
+    header, assigned when the frame is *built*; ``tx_id`` is assigned
+    when the frame actually reaches the air, so the two can differ for
+    frames deferred by CSMA backoff or a busy sender.
     """
 
     tx_id: int
@@ -60,6 +64,7 @@ class Transmission:
     start: float
     symbols: np.ndarray = field(repr=False)
     symbol_period: float
+    seq: int = -1
 
     @property
     def n_symbols(self) -> int:

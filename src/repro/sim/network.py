@@ -24,6 +24,7 @@ recorded traces, mirroring the paper's trace post-processing method.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,6 +41,7 @@ from repro.phy.batch import BatchReceptionEngine
 from repro.phy.chipchannel import (
     chip_error_probability_interference,
     transmit_chipwords,
+    transmit_chipwords_batch,
 )
 from repro.phy.codebook import Codebook, ZigbeeCodebook
 from repro.phy.spreading import symbols_to_bytes
@@ -49,9 +51,14 @@ from repro.sim.medium import PathLossModel, RadioMedium, Transmission
 from repro.sim.testbed import TestbedConfig, paper_testbed, wall_count_matrix
 from repro.sim.traffic import PoissonSource
 from repro.utils.bitops import popcount32
-from repro.utils.rng import derive_rng
+from repro.utils.rng import derive_key, derive_rng
 
 SYNC_SYMBOLS = 10  # preamble/postamble (8) + delimiter (2)
+
+# Flip probabilities at or below this are treated as "the channel
+# passes the word through verbatim"; both channel paths share it so
+# the hot-word sets agree.
+_HOT_PROB = 1e-12
 
 
 @dataclass(frozen=True)
@@ -80,6 +87,13 @@ class SimulationConfig:
     # pass (bit-identical to per-reception decoding; disable only to
     # cross-check or profile the unbatched path).
     batch_decode: bool = True
+    # Corrupt every (transmission, receiver) pair from one shared
+    # sequential RNG stream, pair by pair, instead of the default
+    # counter-based per-pair streams.  The two channels are equal in
+    # distribution but not bit-identical; this flag exists for one
+    # release to cross-check distributional equivalence and will then
+    # be removed (see ROADMAP).
+    legacy_channel_rng: bool = False
 
     def __post_init__(self) -> None:
         if self.load_bits_per_s_per_node <= 0:
@@ -92,6 +106,22 @@ class SimulationConfig:
             raise ValueError(
                 "sync_error_threshold must be in (0, 0.5): beyond "
                 "0.5 a correlator cannot distinguish signal from noise"
+            )
+        # A zero or non-finite symbol period yields division-by-zero /
+        # NaN timelines deep inside interference_timeline_mw; reject at
+        # construction where the mistake is attributable.
+        if not np.isfinite(self.symbol_period_s) or self.symbol_period_s <= 0:
+            raise ValueError(
+                "symbol_period_s must be positive and finite, got "
+                f"{self.symbol_period_s}"
+            )
+        if not np.isfinite(self.min_rx_snr_db):
+            raise ValueError(
+                f"min_rx_snr_db must be finite, got {self.min_rx_snr_db}"
+            )
+        if not np.isfinite(self.tx_power_dbm):
+            raise ValueError(
+                f"tx_power_dbm must be finite, got {self.tx_power_dbm}"
             )
 
 
@@ -172,9 +202,10 @@ class _PendingReception:
     """A reception that has crossed the channel but not been decoded.
 
     Staging receptions lets the run decode every pair's corrupted
-    codewords in one fused nearest-codeword pass (the chip channel
-    must still run per pair, in a fixed order, to keep the RNG stream
-    identical to the unbatched path).
+    codewords in one fused nearest-codeword pass.  With the default
+    counter-based channel the transit itself is also fused across
+    pairs; only the legacy shared-stream channel still transits pair
+    by pair, in a fixed order.
     """
 
     tx: Transmission
@@ -239,24 +270,48 @@ class NetworkSimulation:
                 max_attempts=csma_cfg.max_attempts,
             )
         pattern_rng = derive_rng(cfg.seed, "payload-pattern")
+        # Two counters: ``seq`` is assigned when a frame is *built* (so
+        # frames deferred by CSMA backoff or a busy sender keep unique,
+        # header-consistent sequence numbers), ``tx_id`` when the frame
+        # actually reaches the air.
+        seq_counter = [0]
         tx_counter = [0]
         busy_until = {s: 0.0 for s in self._testbed.sender_ids}
+        # Transmissions still on the air, as (end, index) heap entries;
+        # expired entries are pruned as the clock advances, keeping
+        # each carrier-sense query O(active) instead of O(history).
+        active_heap: list[tuple[float, int]] = []
 
-        def make_frame(sender: int) -> PprFrame:
+        def make_frame(sender: int) -> tuple[PprFrame, int]:
+            """Build a frame, returning it with its unmasked seq.
+
+            The wire header's seq field is 16 bits and wraps; the
+            returned counter value does not, so ``Transmission.seq``
+            stays unique however long the run is.
+            """
             payload = bytes(
                 pattern_rng.integers(0, 256, cfg.payload_bytes, dtype=np.uint8)
             )
-            return PprFrame.build(
+            seq = seq_counter[0]
+            seq_counter[0] += 1
+            frame = PprFrame.build(
                 src=sender,
                 dst=self._nearest_receiver(sender),
-                seq=tx_counter[0] & 0xFFFF,
+                seq=seq & 0xFFFF,
                 wire_payload=payload,
             )
+            return frame, seq
 
         def active_at(now: float) -> list[Transmission]:
-            return [t for t in transmissions if t.start <= now < t.end]
+            # Entries are pushed at their start time and the clock is
+            # monotonic, so everything left after pruning is on air.
+            while active_heap and active_heap[0][0] <= now:
+                heapq.heappop(active_heap)
+            return [transmissions[i] for _, i in active_heap]
 
-        def start_transmission(sender: int, frame: PprFrame) -> None:
+        def start_transmission(
+            sender: int, frame: PprFrame, seq: int
+        ) -> None:
             now = scheduler.now
             tx = Transmission(
                 tx_id=tx_counter[0],
@@ -265,17 +320,21 @@ class NetworkSimulation:
                 start=now,
                 symbols=frame.on_air_symbols(),
                 symbol_period=cfg.symbol_period_s,
+                seq=seq,
             )
             tx_counter[0] += 1
+            heapq.heappush(active_heap, (tx.end, len(transmissions)))
             transmissions.append(tx)
             busy_until[sender] = tx.end
 
-        def attempt_send(sender: int, mac: CsmaMac, frame: PprFrame) -> None:
+        def attempt_send(
+            sender: int, mac: CsmaMac, frame: PprFrame, seq: int
+        ) -> None:
             now = scheduler.now
             if now < busy_until[sender]:
                 scheduler.schedule_at(
                     busy_until[sender],
-                    lambda: attempt_send(sender, mac, frame),
+                    lambda: attempt_send(sender, mac, frame, seq),
                 )
                 return
             sensed = self._medium.carrier_sensed_power_mw(
@@ -283,11 +342,24 @@ class NetworkSimulation:
             )
             go, delay = mac.attempt(sensed)
             if go:
-                start_transmission(sender, frame)
+                start_transmission(sender, frame, seq)
             else:
                 scheduler.schedule(
-                    delay, lambda: attempt_send(sender, mac, frame)
+                    delay, lambda: attempt_send(sender, mac, frame, seq)
                 )
+
+        def make_arrival(sender: int, source: PoissonSource, mac: CsmaMac):
+            # A factory, not a loop-local def: the self-reschedule in
+            # the body must resolve to *this sender's* arrival handler.
+            # A loop-local closure late-binds the name to the last
+            # iteration, funnelling every sender's follow-up traffic
+            # through the final sender.
+            def arrival() -> None:
+                frame, seq = make_frame(sender)
+                attempt_send(sender, mac, frame, seq)
+                scheduler.schedule(source.next_interval(), arrival)
+
+            return arrival
 
         for sender in self._testbed.sender_ids:
             rng = derive_rng(cfg.seed, f"traffic-{sender}")
@@ -295,13 +367,9 @@ class NetworkSimulation:
                 cfg.load_bits_per_s_per_node, cfg.payload_bytes, rng
             )
             mac = CsmaMac(csma_cfg, derive_rng(cfg.seed, f"mac-{sender}"))
-
-            def arrival(sender=sender, source=source, mac=mac) -> None:
-                frame = make_frame(sender)
-                attempt_send(sender, mac, frame)
-                scheduler.schedule(source.next_interval(), arrival)
-
-            scheduler.schedule(source.next_interval(), arrival)
+            scheduler.schedule(
+                source.next_interval(), make_arrival(sender, source, mac)
+            )
 
         scheduler.run(until=cfg.duration_s)
         return transmissions
@@ -316,19 +384,38 @@ class NetworkSimulation:
 
     # -- phase 2: chip-level reception ---------------------------------------
 
-    def _channel_transit(
+    @staticmethod
+    def _overlap_sets(
+        transmissions: list[Transmission],
+    ) -> list[list[Transmission]]:
+        """Per-transmission lists of airtime-overlapping transmissions.
+
+        Transmissions are appended in start order, so a searchsorted
+        over the start times bounds each scan; order within each list
+        matches the input order (what the legacy sequential path saw).
+        """
+        starts = np.array([t.start for t in transmissions])
+        ends = np.array([t.end for t in transmissions])
+        out: list[list[Transmission]] = []
+        for i, tx in enumerate(transmissions):
+            hi = int(np.searchsorted(starts, tx.end, side="left"))
+            others = np.flatnonzero(ends[:hi] > tx.start)
+            out.append(
+                [transmissions[j] for j in others if j != i]
+            )
+        return out
+
+    def _pair_chip_error_probs(
         self,
         tx: Transmission,
         receiver: int,
-        all_tx: list[Transmission],
-        rng: np.random.Generator,
+        overlapping: list[Transmission],
         fades: dict[tuple[int, int], float],
-    ) -> "_PendingReception | None":
-        """Run one (transmission, receiver) pair through the channel.
+    ) -> "np.ndarray | None":
+        """Per-codeword chip flip probabilities for one pair.
 
-        Produces the received chip words and the indices of corrupted
-        codewords, leaving nearest-codeword decoding to the caller so
-        a whole trial's receptions can be decoded in one fused batch.
+        Returns ``None`` when the link is below the RX SNR floor (the
+        receiver cannot hear the transmission at all).
         """
         cfg = self._config
         fade = fades.get((tx.tx_id, receiver), 1.0)
@@ -337,11 +424,6 @@ class NetworkSimulation:
         snr_db = 10 * np.log10(signal_mw / noise_mw)
         if snr_db < cfg.min_rx_snr_db:
             return None
-        overlapping = [
-            o
-            for o in all_tx
-            if o.tx_id != tx.tx_id and tx.overlaps(o)
-        ]
         power_scale = {
             o.tx_id: fades.get((o.tx_id, receiver), 1.0)
             for o in overlapping
@@ -352,15 +434,34 @@ class NetworkSimulation:
         snr = signal_mw / noise_mw
         with np.errstate(invalid="ignore"):
             isr = interference / signal_mw
-        p = chip_error_probability_interference(
+        return chip_error_probability_interference(
             np.full(interference.size, snr), isr
         )
 
-        truth_words = self._codebook.encode_words(tx.symbols)
+    def _channel_transit_legacy(
+        self,
+        tx: Transmission,
+        receiver: int,
+        overlapping: list[Transmission],
+        rng: np.random.Generator,
+        fades: dict[tuple[int, int], float],
+        truth_words: np.ndarray,
+    ) -> "_PendingReception | None":
+        """One pair through the channel, drawing from the shared stream.
+
+        This is the pre-counter-based path, kept (for one release,
+        behind ``SimulationConfig.legacy_channel_rng``) to cross-check
+        that the keyed-stream channel is distributionally equivalent.
+        Pairs must transit in a fixed sequential order to keep the
+        stream identical to historical runs.
+        """
+        p = self._pair_chip_error_probs(tx, receiver, overlapping, fades)
+        if p is None:
+            return None
         rx_words = truth_words.copy()
         # Only symbols with non-negligible flip probability need the
         # stochastic channel; the rest pass through verbatim.
-        hot = np.flatnonzero(p > 1e-12)
+        hot = np.flatnonzero(p > _HOT_PROB)
         if hot.size:
             rx_words[hot] = transmit_chipwords(
                 truth_words[hot], p[hot], rng
@@ -373,6 +474,93 @@ class NetworkSimulation:
             rx_words=rx_words,
             changed=changed,
         )
+
+    def _transit_all_legacy(
+        self, transmissions: list[Transmission],
+        fades: dict[tuple[int, int], float],
+    ) -> "list[_PendingReception]":
+        """Sequential per-pair transit from one shared RNG stream."""
+        rng = derive_rng(self._config.seed, "chip-channel")
+        overlaps = self._overlap_sets(transmissions)
+        pendings: list[_PendingReception] = []
+        for tx, overlapping in zip(transmissions, overlaps):
+            truth_words = self._codebook.encode_words(tx.symbols)
+            for receiver in self._testbed.receiver_ids:
+                if receiver == tx.sender:
+                    continue
+                pending = self._channel_transit_legacy(
+                    tx, receiver, overlapping, rng, fades, truth_words
+                )
+                if pending is not None:
+                    pendings.append(pending)
+        return pendings
+
+    def _transit_all_batched(
+        self, transmissions: list[Transmission],
+        fades: dict[tuple[int, int], float],
+    ) -> "list[_PendingReception]":
+        """Every pair's channel transit as one fused array program.
+
+        Each pair owns a counter-based stream keyed on ``(seed, tx_id,
+        receiver)``, so all pairs' hot codewords can be corrupted in a
+        single :func:`transmit_chipwords_batch` call — no sequential
+        stream to respect, and bit-identical to processing the pairs
+        one at a time with the same keys.
+        """
+        cfg = self._config
+        overlaps = self._overlap_sets(transmissions)
+        staged: list[tuple[Transmission, int, np.ndarray, np.ndarray]] = []
+        p_hots: list[np.ndarray] = []
+        for tx, overlapping in zip(transmissions, overlaps):
+            truth_words: np.ndarray | None = None
+            for receiver in self._testbed.receiver_ids:
+                if receiver == tx.sender:
+                    continue
+                p = self._pair_chip_error_probs(
+                    tx, receiver, overlapping, fades
+                )
+                if p is None:
+                    continue
+                if truth_words is None:
+                    # One encode per transmission, shared (read-only)
+                    # by all of its receivers' pendings.
+                    truth_words = self._codebook.encode_words(tx.symbols)
+                hot = np.flatnonzero(p > _HOT_PROB)
+                staged.append((tx, receiver, truth_words, hot))
+                p_hots.append(p[hot])
+        if not staged:
+            return []
+
+        sizes = [hot.size for (_, _, _, hot) in staged]
+        rx_flat = transmit_chipwords_batch(
+            np.concatenate([words[hot] for (_, _, words, hot) in staged]),
+            np.concatenate(p_hots),
+            sizes,
+            np.stack(
+                [
+                    derive_key(cfg.seed, "chip-channel", tx.tx_id, receiver)
+                    for (tx, receiver, _, _) in staged
+                ]
+            ),
+        )
+
+        pendings: list[_PendingReception] = []
+        offsets = np.cumsum(sizes)[:-1]
+        for (tx, receiver, truth_words, hot), rx_hot in zip(
+            staged, np.split(rx_flat, offsets)
+        ):
+            rx_words = truth_words.copy()
+            rx_words[hot] = rx_hot
+            pendings.append(
+                _PendingReception(
+                    tx=tx,
+                    receiver=receiver,
+                    truth_words=truth_words,
+                    rx_words=rx_words,
+                    changed=hot[rx_hot != truth_words[hot]],
+                )
+            )
+        return pendings
 
     def _finalize_record(
         self,
@@ -525,18 +713,11 @@ class NetworkSimulation:
         """Execute the simulation and decode every audible reception."""
         cfg = self._config
         transmissions = self._generate_transmissions()
-        rng = derive_rng(cfg.seed, "chip-channel")
         fades = self._draw_fades(transmissions)
-        pendings: list[_PendingReception] = []
-        for tx in transmissions:
-            for receiver in self._testbed.receiver_ids:
-                if receiver == tx.sender:
-                    continue
-                pending = self._channel_transit(
-                    tx, receiver, transmissions, rng, fades
-                )
-                if pending is not None:
-                    pendings.append(pending)
+        if cfg.legacy_channel_rng:
+            pendings = self._transit_all_legacy(transmissions, fades)
+        else:
+            pendings = self._transit_all_batched(transmissions, fades)
         records = self._decode_pendings(pendings)
         self._arbitrate_locks(records)
         return SimulationResult(

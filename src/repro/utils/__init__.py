@@ -25,7 +25,15 @@ from repro.utils.crc import (
     crc16,
     crc32,
 )
-from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+from repro.utils.rng import (
+    derive_key,
+    derive_rng,
+    ensure_rng,
+    keyed_rng,
+    keyed_uniforms,
+    philox4x32,
+    spawn_rngs,
+)
 from repro.utils.units import (
     db_to_linear,
     dbm_to_mw,
@@ -58,8 +66,12 @@ __all__ = [
     "crc8",
     "crc16",
     "crc32",
+    "derive_key",
     "derive_rng",
     "ensure_rng",
+    "keyed_rng",
+    "keyed_uniforms",
+    "philox4x32",
     "spawn_rngs",
     "db_to_linear",
     "dbm_to_mw",

@@ -78,8 +78,17 @@ def pack_bits_to_uint32(bits: np.ndarray) -> np.ndarray:
     bits = np.asarray(bits, dtype=np.uint8)
     if bits.ndim != 2 or bits.shape[1] != 32:
         raise ValueError(f"expected shape (n, 32), got {bits.shape}")
-    weights = (np.uint64(1) << np.arange(31, -1, -1, dtype=np.uint64))
-    return (bits.astype(np.uint64) @ weights).astype(np.uint32)
+    # packbits emits MSB-first bytes, so chip 0 becomes the high bit of
+    # the first byte; reading the four bytes big-endian puts it in the
+    # word's MSB.  (An integer matmul against bit weights computes the
+    # same thing ~10x slower: numpy has no BLAS path for integers.)
+    packed = np.packbits(bits, axis=1)
+    return (
+        np.ascontiguousarray(packed)
+        .view(np.dtype(">u4"))
+        .ravel()
+        .astype(np.uint32)
+    )
 
 
 def unpack_uint32_to_bits(words: np.ndarray) -> np.ndarray:

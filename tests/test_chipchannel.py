@@ -8,8 +8,10 @@ from repro.phy.chipchannel import (
     chip_error_probability_interference,
     sinr_timeline_to_chip_probs,
     transmit_chipwords,
+    transmit_chipwords_batch,
 )
 from repro.utils.bitops import popcount32
+from repro.utils.rng import derive_key
 
 
 class TestChipErrorProbability:
@@ -127,6 +129,108 @@ class TestTransmitChipwords:
         with pytest.raises(ValueError, match="finite"):
             transmit_chipwords(
                 np.zeros(2, dtype=np.uint32), np.inf, rng
+            )
+
+
+def _one_key(seed, *ids):
+    """A (1, 2) key matrix for single-pair batch calls."""
+    return derive_key(seed, "chip-channel", *ids)[None, :]
+
+
+class TestTransmitChipwordsBatch:
+    """The keyed-stream channel: randomness addressed by the pair."""
+
+    def test_p_zero_identity(self, codebook, rng):
+        words = codebook.encode_words(rng.integers(0, 16, 64))
+        out = transmit_chipwords_batch(words, 0.0, [64], _one_key(0, 0, 1))
+        assert np.array_equal(out, words)
+
+    def test_p_one_inverts_everything(self, codebook, rng):
+        words = codebook.encode_words(rng.integers(0, 16, 64))
+        out = transmit_chipwords_batch(words, 1.0, [64], _one_key(0, 0, 1))
+        assert np.array_equal(out, words ^ np.uint32(0xFFFFFFFF))
+
+    def test_empirical_flip_rate(self):
+        n = 4000
+        out = transmit_chipwords_batch(
+            np.zeros(n, dtype=np.uint32), 0.1, [n], _one_key(3, 5, 24)
+        )
+        rate = popcount32(out).sum() / (n * 32)
+        assert rate == pytest.approx(0.1, abs=0.01)
+
+    def test_fused_equals_per_pair(self, rng):
+        """Concatenating many pairs' words into one call must equal
+        transiting each pair separately — the invariance the network
+        simulation's fused phase 2 and the multiprocess sharding rest
+        on."""
+        per_pair, flat_words, flat_p, sizes, keys = [], [], [], [], []
+        for pair in range(7):
+            n = int(rng.integers(0, 40))  # zero-size pairs included
+            words = rng.integers(0, 2**32, n, dtype=np.uint32)
+            p = rng.uniform(0.0, 0.4, n)
+            key = derive_key(11, "chip-channel", pair, 23)
+            per_pair.append(
+                transmit_chipwords_batch(words, p, [n], key[None, :])
+            )
+            flat_words.append(words)
+            flat_p.append(p)
+            sizes.append(n)
+            keys.append(key)
+        fused = transmit_chipwords_batch(
+            np.concatenate(flat_words),
+            np.concatenate(flat_p),
+            sizes,
+            np.stack(keys),
+        )
+        assert np.array_equal(fused, np.concatenate(per_pair))
+
+    def test_grouping_invariant(self, rng, monkeypatch):
+        """The internal memory-bounding group width must not affect
+        results (groups always hold whole pairs)."""
+        import repro.phy.chipchannel as cc
+
+        sizes = [40, 1, 73, 20, 55]
+        n = sum(sizes)
+        words = rng.integers(0, 2**32, n, dtype=np.uint32)
+        p = rng.uniform(0, 0.5, n)
+        keys = np.stack(
+            [derive_key(1, "chip-channel", i, 3) for i in range(len(sizes))]
+        )
+        full = transmit_chipwords_batch(words, p, sizes, keys)
+        monkeypatch.setattr(cc, "_BATCH_GROUP_WORDS", 16)
+        assert np.array_equal(
+            transmit_chipwords_batch(words, p, sizes, keys), full
+        )
+
+    def test_different_keys_different_corruption(self):
+        n = 200
+        words = np.zeros(n, dtype=np.uint32)
+        p = np.full(n, 0.5)
+        a = transmit_chipwords_batch(words, p, [n], _one_key(0, 0, 23))
+        b = transmit_chipwords_batch(words, p, [n], _one_key(0, 0, 24))
+        assert not np.array_equal(a, b)
+
+    def test_empty_input(self):
+        out = transmit_chipwords_batch(
+            np.zeros(0, dtype=np.uint32),
+            0.3,
+            np.zeros(0, dtype=np.int64),
+            np.zeros((0, 2), dtype=np.uint64),
+        )
+        assert out.size == 0
+
+    def test_invalid_inputs_rejected(self):
+        words = np.zeros(4, dtype=np.uint32)
+        key = _one_key(0, 0)
+        with pytest.raises(ValueError, match="finite"):
+            transmit_chipwords_batch(words, np.nan, [4], key)
+        with pytest.raises(ValueError):
+            transmit_chipwords_batch(words, 1.5, [4], key)
+        with pytest.raises(ValueError, match="sizes"):
+            transmit_chipwords_batch(words, 0.1, [3], key)
+        with pytest.raises(ValueError, match="keys"):
+            transmit_chipwords_batch(
+                words, 0.1, [2, 2], np.zeros((3, 2), np.uint64)
             )
 
 

@@ -57,6 +57,39 @@ class TestRunnerCli:
         assert results[0].experiment_id == "fig16"
         assert "elapsed_s" in results[0].series
 
+    def test_experiment_points_map_matches_reality(self):
+        """EXPERIMENT_POINTS must list exactly the (load, carrier
+        sense) points each experiment requests: a missing point
+        silently loses --jobs parallelism, a stale one wastes a whole
+        simulation.  Recorded against tiny-duration runs."""
+        from repro.experiments.common import CapacityRuns
+        from repro.experiments.runner import EXPERIMENTS, EXPERIMENT_POINTS
+
+        assert set(EXPERIMENT_POINTS) == set(EXPERIMENTS)
+        runs = CapacityRuns(duration_s=2.0, seed=5)
+        requested: set[tuple[float, bool]] = set()
+        original_get = CapacityRuns.get
+
+        def recording_get(self, load_bps, carrier_sense):
+            requested.add((float(load_bps), bool(carrier_sense)))
+            return original_get(self, load_bps, carrier_sense)
+
+        for name, experiment in EXPERIMENTS.items():
+            requested.clear()
+            CapacityRuns.get = recording_get
+            try:
+                experiment(runs)
+            finally:
+                CapacityRuns.get = original_get
+            declared = {
+                (float(load), bool(cs))
+                for load, cs in EXPERIMENT_POINTS[name]
+            }
+            assert declared == requested, (
+                f"{name}: declared {sorted(declared)} but the "
+                f"experiment requested {sorted(requested)}"
+            )
+
     def test_tiny_capacity_experiment_end_to_end(self):
         """A minimal-duration delivery experiment exercises the whole
         simulate-evaluate-check pipeline (statistics too thin for shape
