@@ -10,16 +10,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.common import CapacityRuns
+from repro.experiments.common import RunCache
 
 BENCH_DURATION_S = 30.0
 BENCH_SEED = 2007
 
 
 @pytest.fixture(scope="session")
-def shared_runs() -> CapacityRuns:
+def shared_runs() -> RunCache:
     """Session-wide capacity-run cache for the figure benchmarks."""
-    return CapacityRuns(duration_s=BENCH_DURATION_S, seed=BENCH_SEED)
+    return RunCache(duration_s=BENCH_DURATION_S, seed=BENCH_SEED)
 
 
 def assert_and_report(result):

@@ -30,7 +30,7 @@ def test_bench_ablation_eta_sweep(benchmark, shared_runs):
     delivered-incorrect bit (a miss corrupts data and costs recovery).
     Too-small η withholds good codewords; too-large η leaks misses.
     """
-    result = shared_runs.get(13800.0, carrier_sense=False)
+    result = shared_runs.get(load=13800.0, carrier_sense=False)
     records = [r for r in result.records if r.acquired(True)]
 
     def sweep():
@@ -132,7 +132,7 @@ def test_bench_ablation_codebook_distance(benchmark):
 def test_bench_ablation_dp_vs_naive_feedback(benchmark, shared_runs):
     """The §5.1 DP vs naive per-bad-run feedback on real run-length
     patterns from the heavy-load traces."""
-    result = shared_runs.get(13800.0, carrier_sense=False)
+    result = shared_runs.get(load=13800.0, carrier_sense=False)
     patterns = []
     for rec in result.records:
         if not rec.acquired(True):
@@ -166,7 +166,7 @@ def test_bench_ablation_diversity_combining(benchmark, shared_runs):
     receiver and strictly improves on some transmissions."""
     from collections import defaultdict
 
-    result = shared_runs.get(13800.0, carrier_sense=False)
+    result = shared_runs.get(load=13800.0, carrier_sense=False)
     by_tx = defaultdict(list)
     for rec in result.records:
         if rec.acquired(True):

@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from repro.experiments.common import CapacityRuns
+from repro.experiments.common import RunCache
 from repro.phy.chipchannel import transmit_chipwords_batch
 from repro.phy.codebook import ZigbeeCodebook
 from repro.utils.rng import derive_key
@@ -77,23 +77,28 @@ def test_bench_sharded_capacity_points(benchmark):
     """Two capacity points prefetched with jobs=2 vs sequentially:
     always bit-identical; wall-clock gated only on multi-core hosts
     (workers cannot beat one process on a single core)."""
-    points = [(13800.0, False), (13800.0, True)]
     duration_s, seed = 6.0, 2007
 
+    def points(cache: RunCache):
+        return [
+            cache.config_for(load=13800.0, carrier_sense=False),
+            cache.config_for(load=13800.0, carrier_sense=True),
+        ]
+
     def sharded():
-        runs = CapacityRuns(duration_s=duration_s, seed=seed, jobs=2)
-        runs.prefetch(points)
+        runs = RunCache(duration_s=duration_s, seed=seed, jobs=2)
+        runs.prefetch(points(runs))
         return runs
 
     par = benchmark.pedantic(sharded, rounds=1, iterations=1)
 
     t0 = time.perf_counter()
-    seq = CapacityRuns(duration_s=duration_s, seed=seed, jobs=1)
-    seq.prefetch(points)
+    seq = RunCache(duration_s=duration_s, seed=seed, jobs=1)
+    seq.prefetch(points(seq))
     sequential_s = time.perf_counter() - t0
 
-    for point in points:
-        a, b = seq.get(*point), par.get(*point)
+    for config in points(seq):
+        a, b = seq.get(config), par.get(config)
         assert len(a.records) == len(b.records)
         for ra, rb in zip(a.records, b.records):
             assert ra.tx_id == rb.tx_id
@@ -102,8 +107,8 @@ def test_bench_sharded_capacity_points(benchmark):
 
     if benchmark.enabled and (os.cpu_count() or 1) >= 2:
         t0 = time.perf_counter()
-        again = CapacityRuns(duration_s=duration_s, seed=seed, jobs=2)
-        again.prefetch(points)
+        again = RunCache(duration_s=duration_s, seed=seed, jobs=2)
+        again.prefetch(points(again))
         sharded_s = time.perf_counter() - t0
         assert sharded_s < sequential_s, (
             f"jobs=2 ({sharded_s:.1f}s) not faster than sequential "

@@ -6,11 +6,11 @@ rate remains high.
 
 from conftest import assert_and_report
 
-from repro.experiments import exp_delivery
+from repro.experiments import exp_fig10
 
 
 def test_bench_fig10(benchmark, shared_runs):
     result = benchmark.pedantic(
-        lambda: exp_delivery.run_fig10(shared_runs), rounds=1, iterations=1
+        lambda: exp_fig10.run(shared_runs), rounds=1, iterations=1
     )
     assert_and_report(result)

@@ -6,11 +6,11 @@ PPR > fragmented CRC > packet CRC at 3.5 Kbit/s/node.
 
 from conftest import assert_and_report
 
-from repro.experiments import exp_delivery
+from repro.experiments import exp_fig8
 
 
 def test_bench_fig8(benchmark, shared_runs):
     result = benchmark.pedantic(
-        lambda: exp_delivery.run_fig8(shared_runs), rounds=1, iterations=1
+        lambda: exp_fig8.run(shared_runs), rounds=1, iterations=1
     )
     assert_and_report(result)

@@ -6,11 +6,11 @@ fragmented CRC remain roughly unchanged.
 
 from conftest import assert_and_report
 
-from repro.experiments import exp_delivery
+from repro.experiments import exp_fig9
 
 
 def test_bench_fig9(benchmark, shared_runs):
     result = benchmark.pedantic(
-        lambda: exp_delivery.run_fig9(shared_runs), rounds=1, iterations=1
+        lambda: exp_fig9.run(shared_runs), rounds=1, iterations=1
     )
     assert_and_report(result)

@@ -1,29 +1,56 @@
 """Experiment harness: one module per table/figure of the paper.
 
-Every experiment is deterministic (explicit seeds), returns a result
-object carrying the measured series plus the paper's expectation, and
-renders itself as text.  ``python -m repro.experiments.runner --all``
-regenerates everything; the pytest benchmarks call the same entry
-points and assert the *shape* checks (who wins, by roughly what factor,
-where crossovers fall).
+Every ``exp_*`` module registers a declarative
+:class:`~repro.experiments.registry.ExperimentSpec` — id, title, the
+paper's expectation, and the simulation points it needs — and returns
+a result object with a stable JSON schema.  ``python -m
+repro.experiments.runner --all`` regenerates everything (``--list``
+enumerates, ``--format json`` / ``--out DIR`` emit machine-readable
+artifacts); the pytest benchmarks call the same entry points and
+assert the *shape* checks (who wins, by roughly what factor, where
+crossovers fall).
 """
 
 from repro.experiments.common import (
-    CapacityRuns,
-    ExperimentResult,
     LOAD_HEAVY,
     LOAD_MEDIUM,
     LOAD_MODERATE,
+    ExperimentOutput,
+    ExperimentResult,
+    RunCache,
+    Scenario,
     ShapeCheck,
+    Sweep,
     default_runs,
+    grid,
+    labelled_evaluations,
+    sweep,
+)
+from repro.experiments.registry import (
+    ExperimentSpec,
+    all_specs,
+    discover,
+    get_spec,
+    register,
 )
 
 __all__ = [
-    "CapacityRuns",
+    "ExperimentOutput",
     "ExperimentResult",
+    "ExperimentSpec",
     "LOAD_HEAVY",
     "LOAD_MEDIUM",
     "LOAD_MODERATE",
+    "RunCache",
+    "Scenario",
     "ShapeCheck",
+    "Sweep",
+    "all_specs",
     "default_runs",
+    "discover",
+    "get_spec",
+    "grid",
+    "labelled_evaluations",
+    "register",
+    "sweep",
 ]

@@ -1,19 +1,35 @@
-"""Shared experiment infrastructure: loads, seeds, cached runs.
+"""Shared experiment infrastructure: run cache, scenarios, results.
 
-The paper's capacity experiments reuse the same testbed traffic at
-three offered loads (3.5, 6.9, 13.8 Kbit/s/node) with carrier sense on
-or off.  :class:`CapacityRuns` runs each (load, carrier-sense) point
-once and caches the result so every figure drawing on the same traces
-shares them — exactly how the paper post-processes one set of traces
-per condition.
+The paper's evaluation post-processes one set of recorded traces per
+condition; here every condition is a full (frozen)
+:class:`SimulationConfig` and :class:`RunCache` simulates each config
+at most once, whoever asks.  Because the cache key is the entire
+config, any axis an experiment sweeps — load, carrier sense, seed,
+payload, duration, η-independent knobs — produces its own entry; two
+different configurations can never silently alias.
+
+On top of the cache sits a small declarative layer:
+
+* :func:`grid` / :func:`sweep` — build the cross product of named
+  axes as :class:`Scenario` objects and fan them through a cache
+  (sharded across worker processes when ``jobs > 1``).
+* :class:`ExperimentResult` — the common result wrapper, with a
+  stable JSON-serializable schema (:meth:`ExperimentResult.to_dict` /
+  :meth:`ExperimentResult.from_dict`) so CI and downstream analysis
+  consume machine-readable artifacts instead of scraping stdout.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import difflib
 import multiprocessing
 import sys
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Any, Iterable
+
+import numpy as np
 
 from repro.link.schemes import (
     DeliveryScheme,
@@ -21,6 +37,7 @@ from repro.link.schemes import (
     PacketCrcScheme,
     PprScheme,
 )
+from repro.sim.metrics import SchemeEvaluation, evaluate_schemes
 from repro.sim.network import (
     NetworkSimulation,
     SimulationConfig,
@@ -37,6 +54,88 @@ DEFAULT_PAYLOAD_BYTES = 1500
 DEFAULT_DURATION_S = 40.0
 DEFAULT_SEED = 2007  # year of publication
 
+RESULT_SCHEMA_VERSION = 1
+
+# The harness's base simulation point.  Experiments and sweeps express
+# themselves as *overrides* of this config; the paper's offered loads
+# and carrier-sense settings are always set explicitly per experiment.
+_EXPERIMENT_BASE = SimulationConfig(
+    load_bits_per_s_per_node=LOAD_MODERATE,
+    payload_bytes=DEFAULT_PAYLOAD_BYTES,
+    duration_s=DEFAULT_DURATION_S,
+    carrier_sense=False,
+    seed=DEFAULT_SEED,
+)
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(SimulationConfig)}
+
+# Friendly axis/override spellings accepted everywhere a config field
+# name is (``cache.get(load=...)``, ``sweep(loads=..., seeds=...)``).
+_FIELD_ALIASES = {
+    "load": "load_bits_per_s_per_node",
+    "loads": "load_bits_per_s_per_node",
+    "seeds": "seed",
+    "duration": "duration_s",
+    "durations": "duration_s",
+    "payload": "payload_bytes",
+    "payloads": "payload_bytes",
+}
+
+# Reverse map for compact scenario labels.
+_SHORT_NAMES = {"load_bits_per_s_per_node": "load"}
+
+
+def config_field(name: str) -> str | None:
+    """Resolve a name (or alias) to a SimulationConfig field, else None."""
+    resolved = _FIELD_ALIASES.get(name, name)
+    return resolved if resolved in _CONFIG_FIELDS else None
+
+
+def _reject_near_miss(name: str) -> None:
+    """Raise if a non-config axis name looks like a misspelled field.
+
+    Sweep axes that are not config fields legitimately ride along as
+    evaluation parameters (``eta=...``), so an unknown name cannot be
+    rejected outright — but a near miss of a real field (``
+    carier_sense``) would silently simulate the *base* value while the
+    scenario label claims otherwise.  Catch that class of mistake.
+    """
+    candidates = sorted(_CONFIG_FIELDS | set(_FIELD_ALIASES))
+    close = difflib.get_close_matches(name, candidates, n=1, cutoff=0.75)
+    if close:
+        raise ValueError(
+            f"axis {name!r} is not a SimulationConfig field but is "
+            f"suspiciously close to {close[0]!r}; spell the field "
+            "correctly, or rename the axis if it really is an "
+            "evaluation parameter"
+        )
+
+
+def _resolve_overrides(overrides: dict[str, Any]) -> dict[str, Any]:
+    """Map aliased override names onto SimulationConfig fields, strictly."""
+    resolved: dict[str, Any] = {}
+    for name, value in overrides.items():
+        target = config_field(name)
+        if target is None:
+            raise ValueError(
+                f"unknown SimulationConfig field {name!r}; valid fields: "
+                f"{sorted(_CONFIG_FIELDS)} (aliases: "
+                f"{sorted(_FIELD_ALIASES)})"
+            )
+        if target in resolved:
+            raise ValueError(
+                f"override {name!r} duplicates field {target!r}"
+            )
+        resolved[target] = value
+    return resolved
+
+
+def default_base_config(**overrides: Any) -> SimulationConfig:
+    """The harness base config, with optional field overrides applied."""
+    if not overrides:
+        return _EXPERIMENT_BASE
+    return replace(_EXPERIMENT_BASE, **_resolve_overrides(overrides))
+
 
 @dataclass(frozen=True)
 class ShapeCheck:
@@ -52,6 +151,41 @@ class ShapeCheck:
         return f"[{status}] {self.name}{suffix}"
 
 
+def _jsonify(value: Any) -> Any:
+    """Coerce a series value into plain JSON-serializable data.
+
+    numpy arrays become (nested) lists, numpy scalars python scalars,
+    mapping keys strings (tuple keys joined with ``-``).  Anything
+    else is rejected so the schema stays honest.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {_json_key(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"series value of type {type(value).__name__} has no stable "
+        "JSON form"
+    )
+
+
+def _json_key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return "-".join(str(_jsonify(part)) for part in key)
+    if isinstance(key, (bool, int, float, np.generic)):
+        return str(_jsonify(key))
+    raise TypeError(
+        f"series key of type {type(key).__name__} has no stable JSON form"
+    )
+
+
 @dataclass
 class ExperimentResult:
     """Common wrapper every experiment returns."""
@@ -62,6 +196,9 @@ class ExperimentResult:
     rendered: str
     shape_checks: list[ShapeCheck] = field(default_factory=list)
     series: dict = field(default_factory=dict)
+    # Wall-clock spent producing this result; excluded from to_dict()
+    # so artifacts from equivalent runs are byte-identical.
+    elapsed_s: float | None = None
 
     @property
     def all_passed(self) -> bool:
@@ -80,6 +217,187 @@ class ExperimentResult:
         lines.extend(str(c) for c in self.shape_checks)
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """Stable JSON-serializable form (schema v1).
+
+        Deterministic for a deterministic experiment: numpy series are
+        coerced to plain data and no timing information is included,
+        so two equivalent runs (any ``jobs`` count, ``batch_decode``
+        on or off) produce byte-identical documents.
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_expectation": self.paper_expectation,
+            "rendered": self.rendered,
+            "shape_checks": [
+                {
+                    "name": c.name,
+                    "passed": bool(c.passed),
+                    "detail": c.detail,
+                }
+                for c in self.shape_checks
+            ],
+            "all_passed": self.all_passed,
+            "series": _jsonify(self.series),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Series come back as the plain JSON data ``to_dict`` wrote
+        (arrays as lists), so ``from_dict(d).to_dict() == d``.
+        """
+        version = data.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema version {version!r} "
+                f"(expected {RESULT_SCHEMA_VERSION})"
+            )
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            paper_expectation=data["paper_expectation"],
+            rendered=data["rendered"],
+            shape_checks=[
+                ShapeCheck(
+                    name=c["name"],
+                    passed=bool(c["passed"]),
+                    detail=c.get("detail", ""),
+                )
+                for c in data["shape_checks"]
+            ],
+            series=dict(data["series"]),
+        )
+
+
+@dataclass
+class ExperimentOutput:
+    """What an experiment body computes.
+
+    Identity (id, title, paper expectation) lives on the registered
+    :class:`~repro.experiments.registry.ExperimentSpec`; the registry
+    stamps it onto a full :class:`ExperimentResult` so each module
+    states those strings exactly once.
+    """
+
+    rendered: str
+    shape_checks: list[ShapeCheck] = field(default_factory=list)
+    series: dict = field(default_factory=dict)
+
+
+# -- scenarios and sweeps ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of a sweep: config overrides plus evaluation params.
+
+    ``overrides`` name SimulationConfig fields and define the
+    simulation point; ``params`` carry non-config axes (η, fragment
+    counts, ...) that evaluation code reads via :meth:`param`.
+    """
+
+    overrides: tuple[tuple[str, Any], ...] = ()
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def config(self, base: SimulationConfig) -> SimulationConfig:
+        """Resolve this scenario against a base config."""
+        if not self.overrides:
+            return base
+        return replace(base, **dict(self.overrides))
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """An evaluation parameter carried by this scenario."""
+        return dict(self.params).get(name, default)
+
+    def label(self) -> str:
+        """Compact human-readable tag, e.g. ``load=3500, seed=2008``."""
+        parts = [
+            f"{_SHORT_NAMES.get(name, name)}={value}"
+            for name, value in (*self.overrides, *self.params)
+        ]
+        return ", ".join(parts) if parts else "base"
+
+
+def grid(**axes: Any) -> tuple[Scenario, ...]:
+    """Cross product of named axes as :class:`Scenario`s.
+
+    Axis values may be scalars or iterables.  Names that resolve to
+    SimulationConfig fields (aliases like ``load``/``loads``/``seeds``
+    accepted) become config overrides; any other name rides along as
+    an evaluation parameter (e.g. ``eta``) for the experiment's own
+    post-processing — except names suspiciously close to a real field
+    (``carier_sense``), which are rejected as probable typos.  Axis
+    order is preserved in labels, with the rightmost axis varying
+    fastest.
+    """
+    names: list[str] = []
+    values: list[tuple[Any, ...]] = []
+    for name, vals in axes.items():
+        if isinstance(vals, (str, bytes)) or not isinstance(
+            vals, Iterable
+        ):
+            vals = (vals,)
+        names.append(name)
+        values.append(tuple(vals))
+    scenarios = []
+    for combo in product(*values):
+        overrides: list[tuple[str, Any]] = []
+        params: list[tuple[str, Any]] = []
+        for name, value in zip(names, combo):
+            target = config_field(name)
+            if target is None:
+                _reject_near_miss(name)
+                params.append((name, value))
+            else:
+                overrides.append((target, value))
+        scenarios.append(Scenario(tuple(overrides), tuple(params)))
+    return tuple(scenarios)
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A set of scenarios to fan through a :class:`RunCache`."""
+
+    scenarios: tuple[Scenario, ...]
+
+    def configs(self, base: SimulationConfig) -> list[SimulationConfig]:
+        """Every scenario's simulation config against a base."""
+        return [s.config(base) for s in self.scenarios]
+
+    def run(
+        self, cache: "RunCache | None" = None
+    ) -> list[tuple[Scenario, SimulationResult]]:
+        """Simulate (or fetch) every scenario, prefetching in parallel.
+
+        Uncached configs are sharded across the cache's worker
+        processes first, then each ``(scenario, result)`` pair is
+        returned in scenario order.
+        """
+        cache = cache if cache is not None else default_runs()
+        configs = self.configs(cache.base)
+        cache.prefetch(configs)
+        return [
+            (scenario, cache.get(config))
+            for scenario, config in zip(self.scenarios, configs)
+        ]
+
+
+def sweep(**axes: Any) -> Sweep:
+    """Build a :class:`Sweep` over the cross product of named axes.
+
+    ``sweep(loads=(3500, 13800), seeds=range(3)).run(cache)`` fans six
+    simulation points through the cache and returns their scenarios
+    paired with results.
+    """
+    return Sweep(grid(**axes))
+
+
+# -- the run cache -----------------------------------------------------------
+
 
 def _preferred_mp_context() -> multiprocessing.context.BaseContext:
     """``fork`` on Linux (cheap; no re-import), else ``spawn``.
@@ -94,120 +412,136 @@ def _preferred_mp_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if use_fork else "spawn")
 
 
-def _simulate_point(
-    args: tuple[tuple[float, bool], SimulationConfig],
-) -> tuple[tuple[float, bool], SimulationResult]:
-    """Worker body: one (load, carrier-sense) point, start to finish.
+def _simulate_config(
+    config: SimulationConfig,
+) -> tuple[SimulationConfig, SimulationResult]:
+    """Worker body: one simulation point, start to finish.
 
-    Module-level so it pickles under every start method.  Each point is
-    a fully independent simulation — its streams derive from the seed
-    and per-pair keys, never from process or execution order — which is
-    what makes the fan-out deterministic for any worker count.
+    Module-level so it pickles under every start method.  Each config
+    is a fully independent simulation — its streams derive from the
+    seed and per-pair keys, never from process or execution order —
+    which is what makes the fan-out deterministic for any worker
+    count.
     """
-    key, config = args
-    return key, NetworkSimulation(config).run()
+    return config, NetworkSimulation(config).run()
 
 
-class CapacityRuns:
-    """Cache of testbed simulation runs keyed by (load, carrier sense).
+class RunCache:
+    """Cache of simulation runs keyed by the full frozen config.
 
-    ``jobs`` > 1 fans *uncached* points across worker processes when
-    several are requested at once (:meth:`prefetch`); results are
+    Each distinct :class:`SimulationConfig` is simulated at most once;
+    because the key is the entire config, sweeping *any* axis (seed,
+    payload, duration, ...) creates distinct entries — nothing can
+    alias.  ``jobs > 1`` fans uncached configs across worker processes
+    when several are requested at once (:meth:`prefetch`); results are
     bit-identical for any worker count, including ``jobs=1``, because
-    every point's randomness is derived from ``(seed, point)`` alone.
+    every config's randomness derives from its own fields alone.
+
+    ``base`` (default :func:`default_base_config`) supplies the fields
+    an individual request does not override:
+    ``cache.get(load=13800.0, carrier_sense=False)`` resolves against
+    it, as do :class:`Sweep` scenarios and registered experiment
+    points.  Constructor keyword overrides configure the base in
+    place: ``RunCache(duration_s=3.0, seed=11, jobs=4)``.
     """
 
     def __init__(
         self,
-        duration_s: float = DEFAULT_DURATION_S,
-        seed: int = DEFAULT_SEED,
-        payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
-        batch_decode: bool = True,
+        base: SimulationConfig | None = None,
+        *,
         jobs: int = 1,
-        legacy_channel_rng: bool = False,
+        **overrides: Any,
     ) -> None:
-        if duration_s <= 0:
-            raise ValueError(f"duration must be positive, got {duration_s}")
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
-        self.duration_s = float(duration_s)
-        self.seed = int(seed)
-        self.payload_bytes = int(payload_bytes)
-        # Fused per-trial reception decoding (bit-identical to the
-        # per-packet path; see SimulationConfig.batch_decode).
-        self.batch_decode = bool(batch_decode)
+        if base is None:
+            base = _EXPERIMENT_BASE
+        if overrides:
+            base = replace(base, **_resolve_overrides(overrides))
+        self.base = base
         self.jobs = int(jobs)
-        # Shared-stream chip channel for cross-checks (deprecated; see
-        # SimulationConfig.legacy_channel_rng).
-        self.legacy_channel_rng = bool(legacy_channel_rng)
-        self._cache: dict[tuple[float, bool], SimulationResult] = {}
+        self._cache: dict[SimulationConfig, SimulationResult] = {}
 
-    def _config_for(
-        self, key: tuple[float, bool]
-    ) -> SimulationConfig:
-        load_bps, carrier_sense = key
-        return SimulationConfig(
-            load_bits_per_s_per_node=load_bps,
-            payload_bytes=self.payload_bytes,
-            duration_s=self.duration_s,
-            carrier_sense=carrier_sense,
-            seed=self.seed,
-            batch_decode=self.batch_decode,
-            legacy_channel_rng=self.legacy_channel_rng,
-        )
+    def config_for(self, **overrides: Any) -> SimulationConfig:
+        """The base config with field overrides (aliases accepted)."""
+        if not overrides:
+            return self.base
+        return replace(self.base, **_resolve_overrides(overrides))
 
-    def prefetch(
-        self, points: Iterable[tuple[float, bool]]
-    ) -> None:
-        """Simulate any uncached points, in parallel when jobs > 1.
+    def prefetch(self, configs: Iterable[SimulationConfig]) -> None:
+        """Simulate any uncached configs, in parallel when jobs > 1.
 
-        Points are embarrassingly parallel: each worker runs one whole
-        (load, carrier-sense) simulation.  The cache ends up exactly as
-        if every point had been simulated sequentially.
+        Configs are embarrassingly parallel: each worker runs one
+        whole simulation point.  The cache ends up exactly as if every
+        config had been simulated sequentially.
         """
-        missing: list[tuple[float, bool]] = []
-        for load_bps, carrier_sense in points:
-            key = (float(load_bps), bool(carrier_sense))
-            if key not in self._cache and key not in missing:
-                missing.append(key)
+        missing: list[SimulationConfig] = []
+        for config in configs:
+            if config not in self._cache and config not in missing:
+                missing.append(config)
         if not missing:
             return
         n_workers = min(self.jobs, len(missing))
         if n_workers == 1:
-            for key in missing:
-                self._cache[key] = _simulate_point(
-                    (key, self._config_for(key))
-                )[1]
+            for config in missing:
+                self._cache[config] = _simulate_config(config)[1]
             return
         ctx = _preferred_mp_context()
-        jobs = [(key, self._config_for(key)) for key in missing]
         with ctx.Pool(processes=n_workers) as pool:
-            for key, result in pool.map(_simulate_point, jobs):
-                self._cache[key] = result
+            for config, result in pool.map(_simulate_config, missing):
+                self._cache[config] = result
 
     def get(
-        self, load_bps: float, carrier_sense: bool
+        self,
+        config: SimulationConfig | None = None,
+        **overrides: Any,
     ) -> SimulationResult:
-        """The cached run for a load point, simulating on first use."""
-        key = (float(load_bps), bool(carrier_sense))
-        if key not in self._cache:
-            self.prefetch([key])
-        return self._cache[key]
+        """The cached run for a config, simulating on first use.
+
+        Pass either a full :class:`SimulationConfig` or field
+        overrides against the base: ``cache.get(load=3500.0,
+        carrier_sense=True)``.
+        """
+        if config is not None and overrides:
+            raise TypeError(
+                "pass either a full config or field overrides, not both"
+            )
+        if config is None:
+            config = self.config_for(**overrides)
+        if config not in self._cache:
+            self.prefetch([config])
+        return self._cache[config]
 
     def clear(self) -> None:
         """Drop all cached runs (for memory-sensitive callers)."""
         self._cache.clear()
 
 
-_DEFAULT_RUNS: CapacityRuns | None = None
+_SHARED_CACHES: dict[SimulationConfig, RunCache] = {}
 
 
-def default_runs() -> CapacityRuns:
-    """Process-wide shared run cache used by the harness and benches."""
-    global _DEFAULT_RUNS
-    if _DEFAULT_RUNS is None:
-        _DEFAULT_RUNS = CapacityRuns()
-    return _DEFAULT_RUNS
+def default_runs(
+    *, jobs: int | None = None, **overrides: Any
+) -> RunCache:
+    """Process-wide shared :class:`RunCache`s, keyed by base config.
+
+    The same parameters always return the same cache instance (so the
+    harness, benchmarks, and ad-hoc callers share simulations), while
+    different parameters return a *different* cache — a configured
+    caller can never silently receive runs simulated under other
+    settings, which the old parameterless singleton allowed.
+    """
+    base = default_base_config(**overrides)
+    cache = _SHARED_CACHES.get(base)
+    if cache is None:
+        cache = RunCache(base)
+        _SHARED_CACHES[base] = cache
+    if jobs is not None:
+        cache.jobs = int(jobs)
+    return cache
+
+
+# -- shared evaluation helpers ----------------------------------------------
 
 
 def paper_schemes(
@@ -219,3 +553,28 @@ def paper_schemes(
         FragmentedCrcScheme(n_fragments=n_fragments),
         PprScheme(eta=eta),
     ]
+
+
+def labelled_evaluations(
+    result: SimulationResult,
+    *,
+    eta: float = DEFAULT_ETA,
+    n_fragments: int = DEFAULT_FRAGMENTS,
+    postamble_options: tuple[bool, ...] = (False, True),
+) -> dict[str, SchemeEvaluation]:
+    """Evaluate the paper's schemes on a run, keyed by variant label.
+
+    The ``evaluate_schemes(...) + paper_schemes()`` label-keyed
+    boilerplate every delivery experiment used to repeat, in one
+    place.  Labels look like ``"ppr, postamble"``.
+    """
+    evals = evaluate_schemes(
+        result, paper_schemes(eta, n_fragments), postamble_options
+    )
+    return {e.label: e for e in evals}
+
+
+def mean_delivery_rate(evaluation: SchemeEvaluation) -> float:
+    """Mean per-link equivalent frame delivery rate (0 when no links)."""
+    rates = evaluation.delivery_rates()
+    return float(np.mean(rates)) if rates else 0.0

@@ -12,28 +12,31 @@ import numpy as np
 
 from repro.analysis.textplot import render_cdf
 from repro.experiments.common import (
-    CapacityRuns,
-    ExperimentResult,
     LOAD_MEDIUM,
+    ExperimentOutput,
+    RunCache,
     ShapeCheck,
-    default_runs,
-    paper_schemes,
+    grid,
+    labelled_evaluations,
 )
-from repro.sim.metrics import evaluate_schemes
+from repro.experiments.registry import register
 
-PAPER_EXPECTATION = (
-    "per-link throughput at 6.9 Kbit/s/node: PPR delivers the most, "
-    "then fragmented CRC, then packet CRC; postamble variants beat "
-    "no-postamble variants"
+
+@register(
+    "fig11",
+    title="End-to-end per-link throughput, 6.9 Kbit/s/node",
+    paper_expectation=(
+        "per-link throughput at 6.9 Kbit/s/node: PPR delivers the "
+        "most, then fragmented CRC, then packet CRC; postamble "
+        "variants beat no-postamble variants"
+    ),
+    points=grid(load=LOAD_MEDIUM, carrier_sense=False),
+    order=11,
 )
-
-
-def run(runs: CapacityRuns | None = None) -> ExperimentResult:
+def run(cache: RunCache) -> ExperimentOutput:
     """Reproduce Fig. 11 at medium (near-saturation) load."""
-    runs = runs or default_runs()
-    result = runs.get(LOAD_MEDIUM, carrier_sense=False)
-    evals = evaluate_schemes(result, paper_schemes())
-    by_label = {e.label: e for e in evals}
+    result = cache.get(load=LOAD_MEDIUM, carrier_sense=False)
+    by_label = labelled_evaluations(result)
 
     tput_series = {}
     totals = {}
@@ -90,10 +93,7 @@ def run(runs: CapacityRuns | None = None) -> ExperimentResult:
             detail=f"min link ratio = {ppr_vs_sq.min():.2f}x",
         ),
     ]
-    return ExperimentResult(
-        experiment_id="fig11",
-        title="End-to-end per-link throughput, 6.9 Kbit/s/node",
-        paper_expectation=PAPER_EXPECTATION,
+    return ExperimentOutput(
         rendered=rendered,
         shape_checks=checks,
         series={**tput_series, "totals": totals},

@@ -15,39 +15,40 @@ import numpy as np
 from repro.analysis.stats import geometric_mean
 from repro.analysis.textplot import render_scatter
 from repro.experiments.common import (
-    CapacityRuns,
-    ExperimentResult,
     LOAD_HEAVY,
     LOAD_MEDIUM,
     LOAD_MODERATE,
+    ExperimentOutput,
+    RunCache,
     ShapeCheck,
-    default_runs,
-    paper_schemes,
+    grid,
+    labelled_evaluations,
 )
-from repro.sim.metrics import evaluate_schemes
-
-PAPER_EXPECTATION = (
-    "PPR above the y=x line by a roughly constant factor; packet CRC "
-    "scattered far below fragmented CRC; spread shrinks with finer "
-    "recovery granularity"
-)
+from repro.experiments.registry import register
 
 _FLOOR_KBPS = 1e-2
 
+_LOADS = (LOAD_MODERATE, LOAD_MEDIUM, LOAD_HEAVY)
 
-def run(runs: CapacityRuns | None = None) -> ExperimentResult:
+
+@register(
+    "fig12",
+    title="Throughput scatter: fragmented CRC vs PPR / packet CRC",
+    paper_expectation=(
+        "PPR above the y=x line by a roughly constant factor; packet "
+        "CRC scattered far below fragmented CRC; spread shrinks with "
+        "finer recovery granularity"
+    ),
+    points=grid(load=_LOADS, carrier_sense=False),
+    order=12,
+)
+def run(cache: RunCache) -> ExperimentOutput:
     """Reproduce the Fig. 12 scatter over all three loads."""
-    runs = runs or default_runs()
     ppr_points: list[tuple[float, float]] = []
     pkt_points: list[tuple[float, float]] = []
-    for load in (LOAD_MODERATE, LOAD_MEDIUM, LOAD_HEAVY):
-        result = runs.get(load, carrier_sense=False)
-        evals = {
-            e.label: e
-            for e in evaluate_schemes(
-                result, paper_schemes(), postamble_options=(True,)
-            )
-        }
+    for load in _LOADS:
+        result = cache.get(load=load, carrier_sense=False)
+        evals = labelled_evaluations(result, postamble_options=(True,))
         frag = evals["fragmented_crc, postamble"].throughputs_kbps()
         ppr = evals["ppr, postamble"].throughputs_kbps()
         pkt = evals["packet_crc, postamble"].throughputs_kbps()
@@ -102,10 +103,7 @@ def run(runs: CapacityRuns | None = None) -> ExperimentResult:
             detail=f"log10 ratio std = {ratio_spread:.2f} decades",
         ),
     ]
-    return ExperimentResult(
-        experiment_id="fig12",
-        title="Throughput scatter: fragmented CRC vs PPR / packet CRC",
-        paper_expectation=PAPER_EXPECTATION,
+    return ExperimentOutput(
         rendered=rendered,
         shape_checks=checks,
         series={

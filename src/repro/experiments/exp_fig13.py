@@ -20,19 +20,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.textplot import render_series
-from repro.experiments.common import ExperimentResult, ShapeCheck
+from repro.experiments.common import ExperimentOutput, RunCache, ShapeCheck
+from repro.experiments.registry import register
 from repro.phy.channelsim import TransmissionInstance, awgn_collision_channel
 from repro.phy.codebook import ZigbeeCodebook
 from repro.phy.frontend import ReceiverFrontend
 from repro.phy.modulation import MskModulator
 from repro.phy.sync import sync_field_symbols
 from repro.utils.rng import derive_rng
-
-PAPER_EXPECTATION = (
-    "Hamming distance ~0 on cleanly-received codeword runs, high across "
-    "the collision burst; the packet whose preamble was lost is "
-    "recovered via its postamble"
-)
 
 
 @dataclass
@@ -45,14 +40,29 @@ class CollisionAnatomy:
     correct: np.ndarray
 
 
+@register(
+    "fig13",
+    title="Anatomy of a collision (waveform level)",
+    paper_expectation=(
+        "Hamming distance ~0 on cleanly-received codeword runs, high "
+        "across the collision burst; the packet whose preamble was "
+        "lost is recovered via its postamble"
+    ),
+    order=13,
+)
 def run(
+    cache: RunCache,
     n_body_symbols: int = 120,
     overlap_symbols: int = 45,
     sps: int = 4,
     noise_power: float = 0.05,
     seed: int = 7,
-) -> ExperimentResult:
-    """Simulate the two-packet collision and decode both sides."""
+) -> ExperimentOutput:
+    """Simulate the two-packet collision and decode both sides.
+
+    Runs the waveform pipeline on its own single-collision channel;
+    ``cache`` is unused (the spec declares no simulation points).
+    """
     if overlap_symbols >= n_body_symbols:
         raise ValueError("overlap must be shorter than the packet body")
     codebook = ZigbeeCodebook()
@@ -166,10 +176,7 @@ def run(
             detail="mean hint(incorrect) > mean hint(correct) + 3",
         ),
     ]
-    return ExperimentResult(
-        experiment_id="fig13",
-        title="Anatomy of a collision (waveform level)",
-        paper_expectation=PAPER_EXPECTATION,
+    return ExperimentOutput(
         rendered=rendered,
         shape_checks=checks,
         series={

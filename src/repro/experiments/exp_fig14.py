@@ -16,35 +16,42 @@ import numpy as np
 from repro.analysis.runs import ccdf_from_counts
 from repro.analysis.textplot import render_series
 from repro.experiments.common import (
-    CapacityRuns,
-    ExperimentResult,
     LOAD_HEAVY,
     LOAD_MEDIUM,
     LOAD_MODERATE,
+    ExperimentOutput,
+    RunCache,
     ShapeCheck,
-    default_runs,
+    grid,
 )
+from repro.experiments.registry import register
 from repro.sim.metrics import miss_run_length_counts
-
-PAPER_EXPECTATION = (
-    "majority of misses short (~30% of length 1); miss-length CCDF "
-    "decays faster than exponential for every eta in 1..4"
-)
 
 ETAS = (1, 2, 3, 4)
 
+_LOADS = (LOAD_MODERATE, LOAD_MEDIUM, LOAD_HEAVY)
 
-def run(runs: CapacityRuns | None = None) -> ExperimentResult:
+
+@register(
+    "fig14",
+    title="CCDF of contiguous miss lengths",
+    paper_expectation=(
+        "majority of misses short (~30% of length 1); miss-length "
+        "CCDF decays faster than exponential for every eta in 1..4"
+    ),
+    points=grid(load=_LOADS, carrier_sense=False),
+    order=14,
+)
+def run(cache: RunCache) -> ExperimentOutput:
     """Reproduce Fig. 14, aggregating traces from all three loads.
 
     Misses are rare in our simulator (the codebook separation is
     cleaner than the authors' over-the-air radios), so the run-length
     statistics pool every capacity run the harness already has.
     """
-    runs = runs or default_runs()
     counts = {eta: Counter() for eta in ETAS}
-    for load in (LOAD_MODERATE, LOAD_MEDIUM, LOAD_HEAVY):
-        result = runs.get(load, carrier_sense=False)
+    for load in _LOADS:
+        result = cache.get(load=load, carrier_sense=False)
         for eta, counter in miss_run_length_counts(
             result, etas=ETAS
         ).items():
@@ -112,10 +119,7 @@ def run(runs: CapacityRuns | None = None) -> ExperimentResult:
                 ),
             ]
         )
-    return ExperimentResult(
-        experiment_id="fig14",
-        title="CCDF of contiguous miss lengths",
-        paper_expectation=PAPER_EXPECTATION,
+    return ExperimentOutput(
         rendered=rendered,
         shape_checks=checks,
         series={"counts": {eta: dict(counts[eta]) for eta in ETAS}},

@@ -13,35 +13,41 @@ import numpy as np
 
 from repro.analysis.textplot import render_series
 from repro.experiments.common import (
-    CapacityRuns,
-    ExperimentResult,
     LOAD_HEAVY,
     LOAD_MEDIUM,
     LOAD_MODERATE,
+    ExperimentOutput,
+    RunCache,
     ShapeCheck,
-    default_runs,
+    grid,
 )
+from repro.experiments.registry import register
 from repro.sim.metrics import false_alarm_rates, hint_histograms
 
-PAPER_EXPECTATION = (
-    "false-alarm rate decreasing in eta, on the order of 5e-3 at "
-    "eta = 6, varying only slightly with offered load"
+LOADS = {
+    "3.5 Kbits/s/node": LOAD_MODERATE,
+    "6.9 Kbits/s/node": LOAD_MEDIUM,
+    "13.8 Kbits/s/node": LOAD_HEAVY,
+}
+
+
+@register(
+    "fig15",
+    title="False-alarm rate vs threshold",
+    paper_expectation=(
+        "false-alarm rate decreasing in eta, on the order of 5e-3 at "
+        "eta = 6, varying only slightly with offered load"
+    ),
+    points=grid(load=tuple(LOADS.values()), carrier_sense=False),
+    order=15,
 )
-
-
-def run(runs: CapacityRuns | None = None) -> ExperimentResult:
+def run(cache: RunCache) -> ExperimentOutput:
     """Reproduce Fig. 15 across the three offered loads."""
-    runs = runs or default_runs()
-    loads = {
-        "3.5 Kbits/s/node": LOAD_MODERATE,
-        "6.9 Kbits/s/node": LOAD_MEDIUM,
-        "13.8 Kbits/s/node": LOAD_HEAVY,
-    }
     xs = np.arange(0, 13)
     series = {}
     at_eta6 = {}
-    for label, load in loads.items():
-        result = runs.get(load, carrier_sense=False)
+    for label, load in LOADS.items():
+        result = cache.get(load=load, carrier_sense=False)
         correct_hist, _ = hint_histograms(result)
         rates = false_alarm_rates(correct_hist)
         series[label] = rates[xs]
@@ -73,10 +79,7 @@ def run(runs: CapacityRuns | None = None) -> ExperimentResult:
             f"{max(at_eta6.values()):.4f}",
         ),
     ]
-    return ExperimentResult(
-        experiment_id="fig15",
-        title="False-alarm rate vs threshold",
-        paper_expectation=PAPER_EXPECTATION,
+    return ExperimentOutput(
         rendered=rendered,
         shape_checks=checks,
         series={"x": xs, **series, "at_eta6": at_eta6},

@@ -16,16 +16,12 @@ from repro.analysis.stats import Cdf
 from repro.analysis.textplot import render_cdf
 from repro.arq.fullarq import FullPacketArqSession
 from repro.arq.protocol import PpArqSession
-from repro.experiments.common import ExperimentResult, ShapeCheck
+from repro.experiments.common import ExperimentOutput, RunCache, ShapeCheck
+from repro.experiments.registry import register
 from repro.phy.chipchannel import transmit_chipwords
 from repro.phy.codebook import ZigbeeCodebook
 from repro.phy.symbols import SoftPacket
 from repro.utils.rng import derive_rng
-
-PAPER_EXPECTATION = (
-    "median PP-ARQ retransmission ~half the 250-byte packet; total "
-    "retransmission cost roughly halved vs whole-packet ARQ"
-)
 
 PACKET_BYTES = 250
 
@@ -88,12 +84,26 @@ class BurstyLinkChannel:
         )
 
 
+@register(
+    "fig16",
+    title="PP-ARQ partial retransmission sizes (250 B packets)",
+    paper_expectation=(
+        "median PP-ARQ retransmission ~half the 250-byte packet; "
+        "total retransmission cost roughly halved vs whole-packet ARQ"
+    ),
+    order=16,
+)
 def run(
+    cache: RunCache,
     n_packets: int = 60,
     eta: float = 6.0,
     seed: int = 16,
-) -> ExperimentResult:
-    """Transfer packets under PP-ARQ and whole-packet ARQ, compare."""
+) -> ExperimentOutput:
+    """Transfer packets under PP-ARQ and whole-packet ARQ, compare.
+
+    Runs on its own single-link bursty channel; ``cache`` is unused
+    (the spec declares no simulation points).
+    """
     codebook = ZigbeeCodebook()
     payload_rng = derive_rng(seed, "fig16-payloads")
     payloads = [
@@ -163,10 +173,7 @@ def run(
             detail=f"full ARQ delivered {full_delivered}/{n_packets}",
         ),
     ]
-    return ExperimentResult(
-        experiment_id="fig16",
-        title="PP-ARQ partial retransmission sizes (250 B packets)",
-        paper_expectation=PAPER_EXPECTATION,
+    return ExperimentOutput(
         rendered=rendered,
         shape_checks=checks,
         series={

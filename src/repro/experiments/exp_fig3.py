@@ -12,35 +12,42 @@ import numpy as np
 
 from repro.analysis.textplot import render_series
 from repro.experiments.common import (
-    CapacityRuns,
-    ExperimentResult,
     LOAD_HEAVY,
     LOAD_MEDIUM,
     LOAD_MODERATE,
+    ExperimentOutput,
+    RunCache,
     ShapeCheck,
-    default_runs,
+    grid,
 )
+from repro.experiments.registry import register
 from repro.sim.metrics import hint_histograms
 
-PAPER_EXPECTATION = (
-    ">=96% of correct codewords at Hamming distance <= 1; only ~10% of "
-    "incorrect codewords at distance <= 6, at all three offered loads"
+LOADS = {
+    "3.5 Kbits/s/node": LOAD_MODERATE,
+    "6.9 Kbits/s/node": LOAD_MEDIUM,
+    "13.8 Kbits/s/node": LOAD_HEAVY,
+}
+
+
+@register(
+    "fig3",
+    title="Hamming distance distributions, correct vs incorrect",
+    paper_expectation=(
+        ">=96% of correct codewords at Hamming distance <= 1; only "
+        "~10% of incorrect codewords at distance <= 6, at all three "
+        "offered loads"
+    ),
+    points=grid(load=tuple(LOADS.values()), carrier_sense=False),
+    order=3,
 )
-
-
-def run(runs: CapacityRuns | None = None) -> ExperimentResult:
+def run(cache: RunCache) -> ExperimentOutput:
     """Reproduce Fig. 3 from the three load points (carrier sense off)."""
-    runs = runs or default_runs()
-    loads = {
-        "3.5 Kbits/s/node": LOAD_MODERATE,
-        "6.9 Kbits/s/node": LOAD_MEDIUM,
-        "13.8 Kbits/s/node": LOAD_HEAVY,
-    }
     xs = np.arange(0, 13)
     series: dict[str, np.ndarray] = {}
     stats: dict[str, tuple[float, float]] = {}
-    for label, load in loads.items():
-        result = runs.get(load, carrier_sense=False)
+    for label, load in LOADS.items():
+        result = cache.get(load=load, carrier_sense=False)
         correct_hist, incorrect_hist = hint_histograms(result)
         cdf_correct = np.cumsum(correct_hist) / max(correct_hist.sum(), 1)
         cdf_incorrect = np.cumsum(incorrect_hist) / max(
@@ -79,10 +86,7 @@ def run(runs: CapacityRuns | None = None) -> ExperimentResult:
             detail="P(d<=1|correct) > P(d<=6|incorrect) at every load",
         ),
     ]
-    return ExperimentResult(
-        experiment_id="fig3",
-        title="Hamming distance distributions, correct vs incorrect",
-        paper_expectation=PAPER_EXPECTATION,
+    return ExperimentOutput(
         rendered=rendered,
         shape_checks=checks,
         series={"x": xs, **series, "stats": stats},

@@ -17,37 +17,38 @@ from repro.analysis.stats import median
 from repro.analysis.textplot import format_table
 from repro.experiments import exp_fig16
 from repro.experiments.common import (
-    CapacityRuns,
-    ExperimentResult,
     LOAD_HEAVY,
     LOAD_MODERATE,
+    ExperimentOutput,
+    RunCache,
     ShapeCheck,
-    default_runs,
-    paper_schemes,
+    grid,
+    labelled_evaluations,
 )
-from repro.sim.metrics import evaluate_schemes
+from repro.experiments.registry import register
 
-PAPER_EXPECTATION = (
-    "PPR/frag CRC improve per-link throughput >7x under high load and "
-    "~2x under moderate load; PPR above frag CRC; PP-ARQ cuts "
-    "retransmission cost ~50%"
+
+@register(
+    "table1",
+    title="Headline result summary",
+    paper_expectation=(
+        "PPR/frag CRC improve per-link throughput >7x under high load "
+        "and ~2x under moderate load; PPR above frag CRC; PP-ARQ cuts "
+        "retransmission cost ~50%"
+    ),
+    points=grid(load=(LOAD_MODERATE, LOAD_HEAVY), carrier_sense=False),
+    order=1,
 )
-
-
-def run(runs: CapacityRuns | None = None) -> ExperimentResult:
+def run(cache: RunCache) -> ExperimentOutput:
     """Build the Table 1 summary from fresh evaluations."""
-    runs = runs or default_runs()
     rows = []
     ratios = {}
     for label, load in (
         ("moderate (3.5 Kb/s/node)", LOAD_MODERATE),
         ("heavy (13.8 Kb/s/node)", LOAD_HEAVY),
     ):
-        result = runs.get(load, carrier_sense=False)
-        evals = {
-            e.label: e
-            for e in evaluate_schemes(result, paper_schemes())
-        }
+        result = cache.get(load=load, carrier_sense=False)
+        evals = labelled_evaluations(result)
         status_quo = evals["packet_crc, no postamble"]
         ppr = evals["ppr, postamble"]
         frag = evals["fragmented_crc, postamble"]
@@ -125,10 +126,7 @@ def run(runs: CapacityRuns | None = None) -> ExperimentResult:
             detail=f"{savings:.0%} (paper: ~50%)",
         ),
     ]
-    return ExperimentResult(
-        experiment_id="table1",
-        title="Headline result summary",
-        paper_expectation=PAPER_EXPECTATION,
+    return ExperimentOutput(
         rendered=rendered,
         shape_checks=checks,
         series={"ratios": ratios, "pp_arq_savings": savings},

@@ -15,31 +15,36 @@ import numpy as np
 
 from repro.analysis.textplot import format_table
 from repro.experiments.common import (
-    CapacityRuns,
-    ExperimentResult,
     LOAD_HEAVY,
+    ExperimentOutput,
+    RunCache,
     ShapeCheck,
-    default_runs,
+    grid,
 )
+from repro.experiments.registry import register
 from repro.link.schemes import FragmentedCrcScheme
 from repro.sim.metrics import evaluate_schemes
-
-PAPER_EXPECTATION = (
-    "inverted-U: 1 chunk=26, 10=85, 30=96, 100=80, 300=15 Kbit/s — "
-    "peak at an intermediate chunk count"
-)
 
 CHUNK_COUNTS = (1, 10, 30, 100, 300)
 
 
-def run(runs: CapacityRuns | None = None) -> ExperimentResult:
+@register(
+    "table2",
+    title="Fragmented CRC chunk-size sweep",
+    paper_expectation=(
+        "inverted-U: 1 chunk=26, 10=85, 30=96, 100=80, 300=15 Kbit/s "
+        "— peak at an intermediate chunk count"
+    ),
+    points=grid(load=LOAD_HEAVY, carrier_sense=False),
+    order=2,
+)
+def run(cache: RunCache) -> ExperimentOutput:
     """Sweep fragments-per-packet and measure aggregate goodput."""
-    runs = runs or default_runs()
     # The chunk-size trade-off only shows under contention: whole
     # packets must frequently lose *some* codewords (heavy load), or
     # one chunk per packet trivially wins on overhead.
-    result = runs.get(LOAD_HEAVY, carrier_sense=False)
-    payload_bytes = runs.payload_bytes
+    result = cache.get(load=LOAD_HEAVY, carrier_sense=False)
+    payload_bytes = cache.base.payload_bytes
     throughputs: dict[int, float] = {}
     goodput_fraction: dict[int, float] = {}
     for n_chunks in CHUNK_COUNTS:
@@ -89,10 +94,7 @@ def run(runs: CapacityRuns | None = None) -> ExperimentResult:
             detail=f"{values[-1]:.3f} vs peak {max(values):.3f}",
         ),
     ]
-    return ExperimentResult(
-        experiment_id="table2",
-        title="Fragmented CRC chunk-size sweep",
-        paper_expectation=PAPER_EXPECTATION,
+    return ExperimentOutput(
         rendered=rendered,
         shape_checks=checks,
         series={

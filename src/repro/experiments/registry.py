@@ -1,0 +1,160 @@
+"""Declarative experiment registry.
+
+Every ``exp_*`` module registers exactly one :class:`ExperimentSpec`
+via the :func:`register` decorator, declaring its id, title, the
+paper's expectation, and — crucially — the simulation points it needs
+as :class:`~repro.experiments.common.Scenario` overrides of the run
+cache's base config.  The runner prefetches the union of the selected
+experiments' declared points (sharded across worker processes) before
+any experiment body runs; because the declaration lives next to the
+code, there is no shadow point map to drift out of date.
+
+Registration example::
+
+    @register(
+        "fig3",
+        title="Hamming distance distributions",
+        paper_expectation="correct and incorrect codewords separate",
+        points=grid(load=(3500.0, 6900.0, 13800.0), carrier_sense=False),
+        order=3,
+    )
+    def run(cache):
+        ...
+        return ExperimentOutput(rendered=..., shape_checks=..., series=...)
+
+The decorated callable takes a :class:`RunCache` (``None`` selects the
+shared default cache) and returns a full
+:class:`~repro.experiments.common.ExperimentResult`: the wrapper
+stamps the spec's identity onto the body's
+:class:`~repro.experiments.common.ExperimentOutput`, so id/title/
+expectation are stated exactly once, on the spec.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+import pkgutil
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.experiments.common import (
+    ExperimentOutput,
+    ExperimentResult,
+    RunCache,
+    Scenario,
+    default_runs,
+)
+from repro.sim.network import SimulationConfig
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_expectation: str
+    points: tuple[Scenario, ...]
+    order: float
+    run: Callable[..., ExperimentResult] = field(compare=False)
+
+    def configs(self, base: SimulationConfig) -> list[SimulationConfig]:
+        """The simulation configs the declared points resolve to."""
+        return [scenario.config(base) for scenario in self.points]
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(
+    experiment_id: str,
+    *,
+    title: str,
+    paper_expectation: str,
+    points: tuple[Scenario, ...] = (),
+    order: float = 0.0,
+) -> Callable[[Callable[..., ExperimentOutput]], Callable[..., ExperimentResult]]:
+    """Declare an experiment and register it under ``experiment_id``.
+
+    ``points`` are the simulation points the experiment will request
+    from its cache, as scenarios over the cache's base config;
+    ``order`` sorts ``--list`` / ``--all`` presentation.  Registering
+    the same id twice is an error — one module, one experiment.
+    """
+
+    def decorate(
+        fn: Callable[..., ExperimentOutput],
+    ) -> Callable[..., ExperimentResult]:
+        @functools.wraps(fn)
+        def run(
+            cache: RunCache | None = None, **kwargs: Any
+        ) -> ExperimentResult:
+            output = fn(
+                cache if cache is not None else default_runs(), **kwargs
+            )
+            return ExperimentResult(
+                experiment_id=experiment_id,
+                title=title,
+                paper_expectation=paper_expectation,
+                rendered=output.rendered,
+                shape_checks=list(output.shape_checks),
+                series=dict(output.series),
+            )
+
+        spec = ExperimentSpec(
+            experiment_id=experiment_id,
+            title=title,
+            paper_expectation=paper_expectation,
+            points=tuple(points),
+            order=float(order),
+            run=run,
+        )
+        existing = _REGISTRY.get(experiment_id)
+        if existing is not None:
+            raise ValueError(
+                f"experiment {experiment_id!r} registered twice "
+                f"(first by {existing.run.__module__}, again by "
+                f"{fn.__module__})"
+            )
+        _REGISTRY[experiment_id] = spec
+        run.spec = spec
+        return run
+
+    return decorate
+
+
+def discover() -> None:
+    """Import every ``repro.experiments.exp_*`` module (idempotent).
+
+    Importing a module triggers its :func:`register` call; modules
+    already imported are no-ops, so discovery is safe to call from
+    the runner, tests, and tooling alike.
+    """
+    pkg = importlib.import_module("repro.experiments")
+    for info in pkgutil.iter_modules(pkg.__path__):
+        if info.name.startswith("exp_"):
+            importlib.import_module(f"{pkg.__name__}.{info.name}")
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """Every registered spec, in presentation order."""
+    discover()
+    return sorted(
+        _REGISTRY.values(), key=lambda s: (s.order, s.experiment_id)
+    )
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """The spec registered under ``experiment_id``.
+
+    Raises ``ValueError`` (listing what is available) for unknown ids.
+    """
+    discover()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        ) from None

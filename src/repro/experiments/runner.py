@@ -2,82 +2,43 @@
 
 Usage::
 
+    python -m repro.experiments.runner --list
     python -m repro.experiments.runner --all
     python -m repro.experiments.runner --experiment fig3 fig16
-    python -m repro.experiments.runner --all --quick     # shorter runs
-    python -m repro.experiments.runner --all --jobs 4    # parallel points
+    python -m repro.experiments.runner --all --quick --jobs 4
+    python -m repro.experiments.runner --all --format json
+    python -m repro.experiments.runner --all --out artifacts/
 
-Each experiment prints its ASCII rendering, the paper's expectation,
-and its shape checks.  Exit status is non-zero if any shape check
-fails, so the runner doubles as a reproduction gate.
+Experiments come from the declarative registry: each ``exp_*`` module
+registers its spec (including the simulation points it needs), the
+runner prefetches the union of the selected specs' points — sharded
+across ``--jobs`` worker processes — and then runs each experiment
+against the shared :class:`~repro.experiments.common.RunCache`.
+
+Text mode prints each experiment's ASCII rendering, the paper's
+expectation, and its shape checks; ``--format json`` emits one JSON
+document on stdout and ``--out DIR`` writes one ``<id>.json`` per
+experiment plus a manifest.  The JSON artifacts contain no timing
+information, so equivalent runs (any ``--jobs`` count,
+``--no-batch-decode`` on or off) are byte-identical — CI diffs them
+directly.  Exit status is non-zero if any shape check fails, so the
+runner doubles as a reproduction gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
-from repro.experiments import (
-    exp_delivery,
-    exp_fig3,
-    exp_fig11,
-    exp_fig12,
-    exp_fig13,
-    exp_fig14,
-    exp_fig15,
-    exp_fig16,
-    exp_table1,
-    exp_table2,
-)
+from repro.experiments import registry
 from repro.experiments.common import (
-    LOAD_HEAVY,
-    LOAD_MEDIUM,
-    LOAD_MODERATE,
-    CapacityRuns,
+    RESULT_SCHEMA_VERSION,
     ExperimentResult,
+    RunCache,
 )
-
-EXPERIMENTS = {
-    "table1": lambda runs: exp_table1.run(runs),
-    "table2": lambda runs: exp_table2.run(runs),
-    "fig3": lambda runs: exp_fig3.run(runs),
-    "fig8": lambda runs: exp_delivery.run_fig8(runs),
-    "fig9": lambda runs: exp_delivery.run_fig9(runs),
-    "fig10": lambda runs: exp_delivery.run_fig10(runs),
-    "fig11": lambda runs: exp_fig11.run(runs),
-    "fig12": lambda runs: exp_fig12.run(runs),
-    "fig13": lambda runs: exp_fig13.run(),
-    "fig14": lambda runs: exp_fig14.run(runs),
-    "fig15": lambda runs: exp_fig15.run(runs),
-    "fig16": lambda runs: exp_fig16.run(),
-}
-
-_ALL_LOADS_NO_CS = [
-    (LOAD_MODERATE, False),
-    (LOAD_MEDIUM, False),
-    (LOAD_HEAVY, False),
-]
-
-# The (load, carrier-sense) simulation points each experiment will
-# request from the shared cache.  ``--jobs N`` prefetches the union of
-# the selected experiments' points across worker processes before any
-# experiment runs; an experiment absent from this map simply simulates
-# its points lazily (and sequentially) on first use.
-EXPERIMENT_POINTS: dict[str, list[tuple[float, bool]]] = {
-    "table1": [(LOAD_MODERATE, False), (LOAD_HEAVY, False)],
-    "table2": [(LOAD_HEAVY, False)],
-    "fig3": _ALL_LOADS_NO_CS,
-    "fig8": [(LOAD_MODERATE, True)],
-    "fig9": [(LOAD_MODERATE, False), (LOAD_MODERATE, True)],
-    "fig10": [(LOAD_MODERATE, False), (LOAD_HEAVY, False)],
-    "fig11": [(LOAD_MEDIUM, False)],
-    "fig12": _ALL_LOADS_NO_CS,
-    "fig13": [],
-    "fig14": _ALL_LOADS_NO_CS,
-    "fig15": _ALL_LOADS_NO_CS,
-    "fig16": [],
-}
 
 
 def run_experiments(
@@ -86,7 +47,6 @@ def run_experiments(
     seed: int = 2007,
     batch_decode: bool = True,
     jobs: int = 1,
-    legacy_channel_rng: bool = False,
 ) -> list[ExperimentResult]:
     """Run the named experiments against one shared run cache.
 
@@ -94,46 +54,83 @@ def run_experiments(
     (the default); disabling it decodes per packet, for cross-checks
     and profiling — the results are bit-identical either way.
 
-    ``jobs`` fans the selected experiments' simulation points across
-    that many worker processes before any experiment runs.  Results
-    are bit-identical for every ``jobs`` value: each point's streams
-    derive from the seed and per-pair keys alone, so it does not
-    matter which process simulates it.
-
-    ``legacy_channel_rng`` selects the deprecated shared-stream chip
-    channel (equal in distribution, not bit-identical) for
-    cross-checking.
+    ``jobs`` fans the selected experiments' declared simulation points
+    across that many worker processes before any experiment runs.
+    Results are bit-identical for every ``jobs`` value: each point's
+    streams derive from its config alone, so it does not matter which
+    process simulates it.
     """
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        raise ValueError(
-            f"unknown experiments: {unknown}; "
-            f"available: {sorted(EXPERIMENTS)}"
-        )
-    runs = CapacityRuns(
+    specs = [registry.get_spec(name) for name in names]
+    cache = RunCache(
         duration_s=duration_s,
         seed=seed,
         batch_decode=batch_decode,
         jobs=jobs,
-        legacy_channel_rng=legacy_channel_rng,
     )
-    points: list[tuple[float, bool]] = []
-    for name in names:
-        points.extend(EXPERIMENT_POINTS.get(name, []))
-    runs.prefetch(points)
+    points = [
+        config for spec in specs for config in spec.configs(cache.base)
+    ]
+    cache.prefetch(points)
     results = []
-    for name in names:
+    for spec in specs:
         start = time.perf_counter()
-        result = EXPERIMENTS[name](runs)
-        result.series["elapsed_s"] = time.perf_counter() - start
+        result = spec.run(cache)
+        result.elapsed_s = time.perf_counter() - start
         results.append(result)
     return results
+
+
+def write_artifacts(
+    out_dir: Path, results: list[ExperimentResult]
+) -> list[Path]:
+    """Write one ``<id>.json`` per result plus ``manifest.json``.
+
+    Files are deterministic (sorted keys, no timings): two equivalent
+    runs produce byte-identical artifact directories.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    manifest: dict = {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "experiments": {},
+    }
+    for result in results:
+        path = out_dir / f"{result.experiment_id}.json"
+        path.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        written.append(path)
+        manifest["experiments"][result.experiment_id] = {
+            "file": path.name,
+            "all_passed": result.all_passed,
+            "shape_checks": len(result.shape_checks),
+        }
+    manifest_path = out_dir / "manifest.json"
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    written.append(manifest_path)
+    return written
+
+
+def _print_list() -> None:
+    specs = registry.all_specs()
+    width = max(len(s.experiment_id) for s in specs)
+    for spec in specs:
+        n = len(spec.points)
+        points = f"{n} point{'s' if n != 1 else ''}"
+        print(f"{spec.experiment_id:<{width}}  {spec.title}  [{points}]")
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered experiments and exit",
     )
     parser.add_argument(
         "--all", action="store_true", help="run every experiment"
@@ -143,7 +140,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         default=[],
         metavar="ID",
-        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))})",
+        help="experiment ids (see --list)",
     )
     parser.add_argument(
         "--quick",
@@ -164,24 +161,36 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="simulate up to N (load, carrier-sense) points in "
-        "parallel worker processes; results are bit-identical for "
-        "every N",
+        help="simulate up to N declared points in parallel worker "
+        "processes; results are bit-identical for every N",
     )
     parser.add_argument(
-        "--legacy-channel-rng",
-        action="store_true",
-        help="use the deprecated shared-stream chip channel (equal "
-        "in distribution to the default counter-based streams, not "
-        "bit-identical; for cross-checking)",
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="print human-readable summaries (text) or one JSON "
+        "document (json) on stdout",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="also write per-experiment JSON artifacts (plus a "
+        "manifest) into DIR",
     )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
-    names = list(EXPERIMENTS) if args.all else args.experiment
+    if args.list:
+        _print_list()
+        return 0
+
+    if args.all:
+        names = [s.experiment_id for s in registry.all_specs()]
+    else:
+        names = args.experiment
     if not names:
-        parser.error("pass --all or --experiment ID [ID ...]")
+        parser.error("pass --all, --experiment ID [ID ...], or --list")
     duration = 15.0 if args.quick else 40.0
     results = run_experiments(
         names,
@@ -189,23 +198,34 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         batch_decode=not args.no_batch_decode,
         jobs=args.jobs,
-        legacy_channel_rng=args.legacy_channel_rng,
     )
 
-    failed = 0
-    for result in results:
-        print(result.summary())
-        print()
-        if not result.all_passed:
-            failed += 1
+    if args.out:
+        write_artifacts(Path(args.out), results)
+
+    failed = sum(not r.all_passed for r in results)
     total_checks = sum(len(r.shape_checks) for r in results)
     passed_checks = sum(
         sum(c.passed for c in r.shape_checks) for r in results
     )
-    print(
+    summary = (
         f"=== {len(results)} experiments, {passed_checks}/{total_checks} "
         f"shape checks passed ==="
     )
+    if args.format == "json":
+        document = {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "results": [r.to_dict() for r in results],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        print(summary, file=sys.stderr)
+    else:
+        for result in results:
+            print(result.summary())
+            print()
+        if args.out:
+            print(f"JSON artifacts written to {args.out}")
+        print(summary)
     return 1 if failed else 0
 
 

@@ -8,13 +8,15 @@ probability ``Q(sqrt(2 * SINR))``.  Despreading gain is not applied
 here — it emerges when 32 received chips are jointly decoded to the
 nearest codeword.
 
-Two BSC implementations coexist: :func:`transmit_chipwords` draws from
-a caller-supplied *sequential* generator (one stream shared by every
-consumer, so evaluation order matters), while
-:func:`transmit_chipwords_batch` draws each reception's flips from its
-own counter-based Philox stream keyed on the (transmission, receiver)
-pair, so arbitrarily many receptions can be corrupted in one fused
-call (or sharded across processes) with bit-identical results.
+Two BSC entry points serve different callers:
+:func:`transmit_chipwords` draws from a caller-supplied sequential
+generator — the natural interface for single-link studies (the PP-ARQ
+experiments, the quickstart example) that own one explicit stream —
+while :func:`transmit_chipwords_batch`, the network simulation's only
+channel path, draws each reception's flips from its own counter-based
+Philox stream keyed on the (transmission, receiver) pair, so
+arbitrarily many receptions can be corrupted in one fused call (or
+sharded across processes) with bit-identical results.
 """
 
 from __future__ import annotations

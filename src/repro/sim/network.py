@@ -40,7 +40,6 @@ from repro.link.frame import (
 from repro.phy.batch import BatchReceptionEngine
 from repro.phy.chipchannel import (
     chip_error_probability_interference,
-    transmit_chipwords,
     transmit_chipwords_batch,
 )
 from repro.phy.codebook import Codebook, ZigbeeCodebook
@@ -56,8 +55,7 @@ from repro.utils.rng import derive_key, derive_rng
 SYNC_SYMBOLS = 10  # preamble/postamble (8) + delimiter (2)
 
 # Flip probabilities at or below this are treated as "the channel
-# passes the word through verbatim"; both channel paths share it so
-# the hot-word sets agree.
+# passes the word through verbatim".
 _HOT_PROB = 1e-12
 
 
@@ -68,6 +66,12 @@ class SimulationConfig:
     Defaults follow the paper's setup: 1500-byte emulated packets
     (§7.2), 16 µs codeword time (§7.3 footnote 6), and the offered
     loads are set per experiment (3.5 / 6.9 / 13.8 Kbit/s/node).
+
+    The dataclass is frozen and every field is hashable, so a config
+    *is* the identity of its run: the experiment layer's ``RunCache``
+    keys cached :class:`SimulationResult`s on the full config, and two
+    configs differing in any field (seed, duration, payload, ...) can
+    never alias to the same cache entry.
     """
 
     load_bits_per_s_per_node: float = 3500.0
@@ -87,13 +91,6 @@ class SimulationConfig:
     # pass (bit-identical to per-reception decoding; disable only to
     # cross-check or profile the unbatched path).
     batch_decode: bool = True
-    # Corrupt every (transmission, receiver) pair from one shared
-    # sequential RNG stream, pair by pair, instead of the default
-    # counter-based per-pair streams.  The two channels are equal in
-    # distribution but not bit-identical; this flag exists for one
-    # release to cross-check distributional equivalence and will then
-    # be removed (see ROADMAP).
-    legacy_channel_rng: bool = False
 
     def __post_init__(self) -> None:
         if self.load_bits_per_s_per_node <= 0:
@@ -202,10 +199,8 @@ class _PendingReception:
     """A reception that has crossed the channel but not been decoded.
 
     Staging receptions lets the run decode every pair's corrupted
-    codewords in one fused nearest-codeword pass.  With the default
-    counter-based channel the transit itself is also fused across
-    pairs; only the legacy shared-stream channel still transits pair
-    by pair, in a fixed order.
+    codewords in one fused nearest-codeword pass; the counter-based
+    channel fuses the transit itself across pairs the same way.
     """
 
     tx: Transmission
@@ -438,63 +433,6 @@ class NetworkSimulation:
             np.full(interference.size, snr), isr
         )
 
-    def _channel_transit_legacy(
-        self,
-        tx: Transmission,
-        receiver: int,
-        overlapping: list[Transmission],
-        rng: np.random.Generator,
-        fades: dict[tuple[int, int], float],
-        truth_words: np.ndarray,
-    ) -> "_PendingReception | None":
-        """One pair through the channel, drawing from the shared stream.
-
-        This is the pre-counter-based path, kept (for one release,
-        behind ``SimulationConfig.legacy_channel_rng``) to cross-check
-        that the keyed-stream channel is distributionally equivalent.
-        Pairs must transit in a fixed sequential order to keep the
-        stream identical to historical runs.
-        """
-        p = self._pair_chip_error_probs(tx, receiver, overlapping, fades)
-        if p is None:
-            return None
-        rx_words = truth_words.copy()
-        # Only symbols with non-negligible flip probability need the
-        # stochastic channel; the rest pass through verbatim.
-        hot = np.flatnonzero(p > _HOT_PROB)
-        if hot.size:
-            rx_words[hot] = transmit_chipwords(
-                truth_words[hot], p[hot], rng
-            )
-        changed = np.flatnonzero(rx_words != truth_words)
-        return _PendingReception(
-            tx=tx,
-            receiver=receiver,
-            truth_words=truth_words,
-            rx_words=rx_words,
-            changed=changed,
-        )
-
-    def _transit_all_legacy(
-        self, transmissions: list[Transmission],
-        fades: dict[tuple[int, int], float],
-    ) -> "list[_PendingReception]":
-        """Sequential per-pair transit from one shared RNG stream."""
-        rng = derive_rng(self._config.seed, "chip-channel")
-        overlaps = self._overlap_sets(transmissions)
-        pendings: list[_PendingReception] = []
-        for tx, overlapping in zip(transmissions, overlaps):
-            truth_words = self._codebook.encode_words(tx.symbols)
-            for receiver in self._testbed.receiver_ids:
-                if receiver == tx.sender:
-                    continue
-                pending = self._channel_transit_legacy(
-                    tx, receiver, overlapping, rng, fades, truth_words
-                )
-                if pending is not None:
-                    pendings.append(pending)
-        return pendings
-
     def _transit_all_batched(
         self, transmissions: list[Transmission],
         fades: dict[tuple[int, int], float],
@@ -714,10 +652,7 @@ class NetworkSimulation:
         cfg = self._config
         transmissions = self._generate_transmissions()
         fades = self._draw_fades(transmissions)
-        if cfg.legacy_channel_rng:
-            pendings = self._transit_all_legacy(transmissions, fades)
-        else:
-            pendings = self._transit_all_batched(transmissions, fades)
+        pendings = self._transit_all_batched(transmissions, fades)
         records = self._decode_pendings(pendings)
         self._arbitrate_locks(records)
         return SimulationResult(

@@ -1,21 +1,19 @@
 """The determinism contract of the sharded, batched simulation.
 
-One seed must produce bit-identical :class:`SimulationResult`s no
+One config must produce bit-identical :class:`SimulationResult`s no
 matter *how* the work is executed: any ``jobs`` worker count,
 ``batch_decode`` on or off, prefetched or lazily simulated.  The
 counter-based chip channel makes this hold by construction — every
 (transmission, receiver) pair's randomness is addressed by ``(seed,
 tx_id, receiver, word)`` rather than by draw order — and these tests
-pin the contract end to end.
+pin the contract end to end through the :class:`RunCache`.
 """
 
 import numpy as np
 import pytest
 
-from repro.experiments.common import CapacityRuns
-from repro.sim.network import NetworkSimulation, SimulationConfig
+from repro.experiments.common import RunCache
 
-_POINTS = [(9000.0, False), (13800.0, False)]
 _DURATION_S = 3.0
 _SEED = 21
 
@@ -54,104 +52,86 @@ def _assert_results_identical(a, b) -> None:
         assert np.array_equal(ra.body_truth, rb.body_truth)
 
 
-def _runs(jobs: int, **kwargs) -> CapacityRuns:
-    return CapacityRuns(
+def _runs(jobs: int, **kwargs) -> RunCache:
+    return RunCache(
         duration_s=_DURATION_S, seed=_SEED, jobs=jobs, **kwargs
     )
+
+
+def _points(cache: RunCache):
+    return [
+        cache.config_for(load=9000.0, carrier_sense=False),
+        cache.config_for(load=13800.0, carrier_sense=False),
+    ]
 
 
 class TestJobsInvariance:
     @pytest.mark.parametrize("jobs", [2, 3])
     def test_bit_identical_across_worker_counts(self, jobs):
         sequential = _runs(jobs=1)
-        sequential.prefetch(_POINTS)
+        sequential.prefetch(_points(sequential))
         sharded = _runs(jobs=jobs)
-        sharded.prefetch(_POINTS)
-        for point in _POINTS:
+        sharded.prefetch(_points(sharded))
+        for seq_cfg, sh_cfg in zip(
+            _points(sequential), _points(sharded)
+        ):
             _assert_results_identical(
-                sequential.get(*point), sharded.get(*point)
+                sequential.get(seq_cfg), sharded.get(sh_cfg)
             )
 
     def test_lazy_get_matches_prefetch(self):
         lazy = _runs(jobs=1)
         eager = _runs(jobs=2)
-        eager.prefetch(_POINTS)
-        for point in _POINTS:
-            _assert_results_identical(lazy.get(*point), eager.get(*point))
+        eager.prefetch(_points(eager))
+        for config in _points(lazy):
+            _assert_results_identical(lazy.get(config), eager.get(config))
 
     def test_prefetch_is_idempotent_and_caches(self):
         runs = _runs(jobs=2)
-        runs.prefetch(_POINTS)
-        first = runs.get(*_POINTS[0])
-        runs.prefetch(_POINTS)  # all cached: must not resimulate
-        assert runs.get(*_POINTS[0]) is first
-
-    def test_rejects_bad_jobs(self):
-        with pytest.raises(ValueError, match="jobs"):
-            CapacityRuns(jobs=0)
+        runs.prefetch(_points(runs))
+        first = runs.get(_points(runs)[0])
+        runs.prefetch(_points(runs))  # all cached: must not resimulate
+        assert runs.get(_points(runs)[0]) is first
 
 
 class TestBatchDecodeInvariance:
     def test_batch_decode_on_off_identical(self):
         on = _runs(jobs=1, batch_decode=True)
         off = _runs(jobs=1, batch_decode=False)
-        point = _POINTS[1]
-        _assert_results_identical(on.get(*point), off.get(*point))
+        _assert_results_identical(
+            on.get(load=13800.0, carrier_sense=False),
+            off.get(load=13800.0, carrier_sense=False),
+        )
 
     def test_batch_decode_identical_under_sharding(self):
         on = _runs(jobs=2, batch_decode=True)
         off = _runs(jobs=2, batch_decode=False)
-        on.prefetch(_POINTS)
-        off.prefetch(_POINTS)
-        for point in _POINTS:
-            _assert_results_identical(on.get(*point), off.get(*point))
+        on.prefetch(_points(on))
+        off.prefetch(_points(off))
+        for on_cfg, off_cfg in zip(_points(on), _points(off)):
+            _assert_results_identical(on.get(on_cfg), off.get(off_cfg))
 
 
-class TestLegacyChannelCrossCheck:
-    """The deprecated shared-stream channel: same physics, different
-    bits.  Reception structure (which pairs are audible, how many
-    records, phase-1 traffic) must match exactly; only the chip noise
-    realisation may differ, and only in distribution."""
+class TestFullConfigKey:
+    """The cache key is the entire config: sweeping any axis creates
+    distinct entries, and equal configs hit the same entry whichever
+    cache instance or access style produced them."""
 
-    def test_same_structure_different_noise(self):
-        config = SimulationConfig(
-            load_bits_per_s_per_node=13800.0,
-            payload_bytes=300,
-            duration_s=3.0,
-            carrier_sense=False,
-            seed=_SEED,
+    def test_seed_axis_never_aliases(self):
+        runs = _runs(jobs=1)
+        a = runs.get(load=13800.0, carrier_sense=False)
+        b = runs.get(load=13800.0, carrier_sense=False, seed=_SEED + 1)
+        assert a is not b
+        # Different seeds really are different noise realisations.
+        assert len(a.records) != len(b.records) or any(
+            not np.array_equal(ra.body_symbols, rb.body_symbols)
+            for ra, rb in zip(a.records, b.records)
         )
-        legacy_config = SimulationConfig(
-            load_bits_per_s_per_node=13800.0,
-            payload_bytes=300,
-            duration_s=3.0,
-            carrier_sense=False,
-            seed=_SEED,
-            legacy_channel_rng=True,
-        )
-        keyed = NetworkSimulation(config).run()
-        legacy = NetworkSimulation(legacy_config).run()
-        # Phase 1 and audibility are channel-RNG independent.
-        assert len(keyed.transmissions) == len(legacy.transmissions)
-        assert len(keyed.records) == len(legacy.records)
-        assert [(r.tx_id, r.receiver) for r in keyed.records] == [
-            (r.tx_id, r.receiver) for r in legacy.records
-        ]
-        # The noise realisations differ ...
-        assert any(
-            not np.array_equal(ka.body_symbols, la.body_symbols)
-            for ka, la in zip(keyed.records, legacy.records)
-        )
-        # ... but only in realisation, not in scale: overall symbol
-        # error rates agree within a loose statistical tolerance.
-        def symbol_error_rate(result):
-            wrong = sum(
-                int((r.body_symbols != r.body_truth).sum())
-                for r in result.records
-            )
-            total = sum(r.body_symbols.size for r in result.records)
-            return wrong / total
 
-        keyed_ser = symbol_error_rate(keyed)
-        legacy_ser = symbol_error_rate(legacy)
-        assert keyed_ser == pytest.approx(legacy_ser, rel=0.15)
+    def test_equal_configs_are_one_entry(self):
+        runs = _runs(jobs=1)
+        direct = runs.get(
+            runs.config_for(load=13800.0, carrier_sense=False)
+        )
+        via_overrides = runs.get(load=13800.0, carrier_sense=False)
+        assert direct is via_overrides

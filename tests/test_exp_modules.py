@@ -11,20 +11,23 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    exp_delivery,
     exp_fig3,
+    exp_fig8,
+    exp_fig9,
+    exp_fig10,
     exp_fig11,
     exp_fig12,
     exp_fig14,
     exp_fig15,
+    exp_sweep_load,
     exp_table2,
 )
-from repro.experiments.common import CapacityRuns
+from repro.experiments.common import RunCache
 
 
 @pytest.fixture(scope="module")
 def tiny_runs():
-    return CapacityRuns(duration_s=3.0, seed=11)
+    return RunCache(duration_s=3.0, seed=11)
 
 
 class TestFig3Module:
@@ -41,7 +44,7 @@ class TestFig3Module:
 
 class TestDeliveryModules:
     def test_fig8_series_cover_six_variants(self, tiny_runs):
-        result = exp_delivery.run_fig8(tiny_runs)
+        result = exp_fig8.run(tiny_runs)
         assert len(result.series) == 6
         for label, rates in result.series.items():
             assert isinstance(rates, np.ndarray)
@@ -49,12 +52,12 @@ class TestDeliveryModules:
                 assert rates.min() >= 0 and rates.max() <= 1
 
     def test_fig9_has_carrier_sense_checks(self, tiny_runs):
-        result = exp_delivery.run_fig9(tiny_runs)
+        result = exp_fig9.run(tiny_runs)
         names = [c.name for c in result.shape_checks]
         assert any("carrier sense" in n for n in names)
 
     def test_fig10_compares_loads(self, tiny_runs):
-        result = exp_delivery.run_fig10(tiny_runs)
+        result = exp_fig10.run(tiny_runs)
         names = [c.name for c in result.shape_checks]
         assert any("heavy load" in n for n in names)
 
@@ -97,3 +100,21 @@ class TestHintStatModules:
             and c.passed
             for c in result.shape_checks
         )
+
+
+class TestSweepLoadModule:
+    def test_structure(self):
+        # Its own short cache: the sweep overrides the seed axis, so
+        # it shares no simulations with the tiny_runs fixture anyway.
+        result = exp_sweep_load.run(RunCache(duration_s=2.0, seed=11))
+        assert result.experiment_id == "sweep_load"
+        assert result.series["loads"] == list(exp_sweep_load.LOADS)
+        assert result.series["seeds"] == list(exp_sweep_load.SEEDS)
+        assert len(result.series["stats"]) == len(exp_sweep_load.LOADS)
+        for stats in result.series["stats"].values():
+            assert stats["ppr_ci"] >= 0
+            assert stats["gap_min"] <= stats["gap_mean"]
+        # One delivery sample per (load, seed) pair.
+        for samples in result.series["per_load_ppr"].values():
+            assert len(samples) == len(exp_sweep_load.SEEDS)
+        assert "95% CI" in result.rendered

@@ -1,8 +1,8 @@
-"""Tests for the experiment harness.
+"""Tests for the experiment harness infrastructure.
 
 The full-duration experiments run in the benchmark suite; here we
-verify harness structure, the fast experiments end-to-end, and that the
-shared run cache behaves.
+verify the run cache, the scenario/sweep API, the shared default
+caches, and the fast experiments end-to-end.
 """
 
 import numpy as np
@@ -10,12 +10,18 @@ import pytest
 
 from repro.experiments import exp_fig13, exp_fig16
 from repro.experiments.common import (
-    CapacityRuns,
+    DEFAULT_SEED,
     ExperimentResult,
+    RunCache,
+    Scenario,
     ShapeCheck,
+    default_runs,
+    grid,
+    labelled_evaluations,
     paper_schemes,
+    sweep,
 )
-from repro.experiments.runner import EXPERIMENTS, run_experiments
+from repro.sim.network import SimulationConfig
 
 
 class TestShapeCheck:
@@ -37,53 +43,172 @@ class TestShapeCheck:
         assert "[PASS] a" in result.summary()
 
 
-class TestCapacityRuns:
+class TestRunCache:
     def test_caching(self):
-        runs = CapacityRuns(duration_s=2.0, seed=1)
-        a = runs.get(13800.0, carrier_sense=False)
-        b = runs.get(13800.0, carrier_sense=False)
+        runs = RunCache(duration_s=2.0, seed=1)
+        a = runs.get(load=13800.0, carrier_sense=False)
+        b = runs.get(load=13800.0, carrier_sense=False)
         assert a is b
         runs.clear()
-        c = runs.get(13800.0, carrier_sense=False)
+        c = runs.get(load=13800.0, carrier_sense=False)
         assert c is not a
 
+    def test_full_config_and_overrides_agree(self):
+        runs = RunCache(duration_s=2.0, seed=1)
+        config = runs.config_for(load=13800.0, carrier_sense=False)
+        assert runs.get(config) is runs.get(
+            load=13800.0, carrier_sense=False
+        )
+
     def test_different_conditions_different_runs(self):
-        runs = CapacityRuns(duration_s=2.0, seed=1)
-        a = runs.get(13800.0, carrier_sense=False)
-        b = runs.get(13800.0, carrier_sense=True)
+        runs = RunCache(duration_s=2.0, seed=1)
+        a = runs.get(load=13800.0, carrier_sense=False)
+        b = runs.get(load=13800.0, carrier_sense=True)
         assert a is not b
+
+    def test_any_axis_keys_the_cache(self):
+        """Seed, payload, and duration are part of the key — no axis
+        can alias (the old (load, carrier-sense) tuple key would)."""
+        runs = RunCache(duration_s=2.0, seed=1)
+        base = runs.get(load=13800.0, carrier_sense=False)
+        for overrides in (
+            {"seed": 2},
+            {"payload_bytes": 300},
+            {"duration_s": 3.0},
+        ):
+            other = runs.get(
+                load=13800.0, carrier_sense=False, **overrides
+            )
+            assert other is not base
+
+    def test_base_overrides_via_constructor(self):
+        runs = RunCache(duration_s=2.0, seed=7, payload=400)
+        assert runs.base.duration_s == 2.0
+        assert runs.base.seed == 7
+        assert runs.base.payload_bytes == 400
+
+    def test_unknown_field_rejected(self):
+        runs = RunCache(duration_s=2.0)
+        with pytest.raises(ValueError, match="unknown SimulationConfig"):
+            runs.config_for(lode=13800.0)
+
+    def test_config_with_overrides_rejected(self):
+        runs = RunCache(duration_s=2.0)
+        with pytest.raises(TypeError, match="not both"):
+            runs.get(runs.base, load=13800.0)
 
     def test_invalid_duration(self):
         with pytest.raises(ValueError):
-            CapacityRuns(duration_s=0)
+            RunCache(duration_s=0)
 
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            RunCache(jobs=0)
+
+
+class TestScenarioGrid:
+    def test_grid_cross_product(self):
+        scenarios = grid(load=(1000.0, 2000.0), seed=(1, 2))
+        assert len(scenarios) == 4
+        axes = [
+            (dict(s.overrides)["load_bits_per_s_per_node"],
+             dict(s.overrides)["seed"])
+            for s in scenarios
+        ]
+        assert axes == [
+            (1000.0, 1), (1000.0, 2), (2000.0, 1), (2000.0, 2)
+        ]
+
+    def test_scalar_axes_and_params(self):
+        scenarios = grid(load=1000.0, eta=(2, 6))
+        assert len(scenarios) == 2
+        assert scenarios[0].param("eta") == 2
+        assert scenarios[1].param("eta") == 6
+        assert dict(scenarios[0].overrides) == {
+            "load_bits_per_s_per_node": 1000.0
+        }
+
+    def test_near_miss_axis_names_rejected(self):
+        """A typo'd config field must not silently become an inert
+        evaluation parameter (the simulation would run with the base
+        value while the scenario label claims otherwise)."""
+        for typo in ("carier_sense", "laod", "seeed"):
+            with pytest.raises(ValueError, match="suspiciously close"):
+                grid(**{typo: True})
+
+    def test_scenario_config_resolution(self):
+        base = SimulationConfig(seed=9)
+        scenario = Scenario(
+            overrides=(("load_bits_per_s_per_node", 9999.0),)
+        )
+        config = scenario.config(base)
+        assert config.load_bits_per_s_per_node == 9999.0
+        assert config.seed == 9
+
+    def test_label(self):
+        scenario = grid(load=1000.0, seed=3, eta=6)[0]
+        assert scenario.label() == "load=1000.0, seed=3, eta=6"
+        assert Scenario().label() == "base"
+
+    def test_sweep_runs_through_cache(self):
+        cache = RunCache(duration_s=2.0, seed=1)
+        pairs = sweep(
+            loads=(9000.0, 13800.0), carrier_sense=False
+        ).run(cache)
+        assert len(pairs) == 2
+        for scenario, result in pairs:
+            expected = scenario.config(cache.base)
+            assert result.config == expected
+            assert cache.get(expected) is result
+
+
+class TestDefaultRuns:
+    def test_same_parameters_share_a_cache(self):
+        a = default_runs(duration_s=2.5, seed=3)
+        b = default_runs(duration_s=2.5, seed=3)
+        assert a is b
+
+    def test_parameters_honoured(self):
+        """The old singleton silently ignored caller parameters; the
+        shared caches are keyed by their base config."""
+        configured = default_runs(duration_s=2.5, seed=3)
+        assert configured.base.duration_s == 2.5
+        assert configured.base.seed == 3
+        assert configured is not default_runs()
+        assert default_runs().base.seed == DEFAULT_SEED
+
+    def test_jobs_updated_in_place(self):
+        cache = default_runs(duration_s=2.5, seed=3, jobs=2)
+        assert cache.jobs == 2
+        assert default_runs(duration_s=2.5, seed=3).jobs == 2
+
+
+class TestEvaluationHelpers:
     def test_paper_schemes_parameters(self):
         schemes = paper_schemes()
         assert schemes[1].n_fragments == 30
         assert schemes[2].eta == 6.0
 
-
-class TestRegistry:
-    def test_every_paper_result_has_an_experiment(self):
-        expected = {
-            "table1",
-            "table2",
-            "fig3",
-            "fig8",
-            "fig9",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "fig14",
-            "fig15",
-            "fig16",
+    def test_labelled_evaluations_keys(self):
+        runs = RunCache(duration_s=2.0, seed=1)
+        result = runs.get(load=13800.0, carrier_sense=False)
+        evals = labelled_evaluations(result)
+        assert set(evals) == {
+            "packet_crc, no postamble",
+            "fragmented_crc, no postamble",
+            "ppr, no postamble",
+            "packet_crc, postamble",
+            "fragmented_crc, postamble",
+            "ppr, postamble",
         }
-        assert set(EXPERIMENTS) == expected
-
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(ValueError, match="unknown"):
-            run_experiments(["fig99"], duration_s=1.0)
+        postamble_only = labelled_evaluations(
+            result, postamble_options=(True,)
+        )
+        assert set(postamble_only) == {
+            "packet_crc, postamble",
+            "fragmented_crc, postamble",
+            "ppr, postamble",
+        }
 
 
 class TestFastExperiments:

@@ -1,10 +1,39 @@
-"""Tests for the experiment runner CLI and the public package API."""
+"""Tests for the experiment runner CLI, registry, and public API.
+
+The registry contracts pinned here replace the old hand-maintained
+``EXPERIMENT_POINTS`` map and its drift test: every ``exp_*`` module
+registers exactly one spec, every simulation point an experiment
+requests is declared on its spec (verified with a recording cache),
+and every result round-trips through the JSON schema.
+"""
+
+import json
+import pkgutil
 
 import numpy as np
 import pytest
 
 import repro
+import repro.experiments
+from repro.experiments import registry
+from repro.experiments.common import ExperimentResult, RunCache
 from repro.experiments.runner import main, run_experiments
+
+EXPECTED_IDS = {
+    "table1",
+    "table2",
+    "fig3",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "sweep_load",
+}
 
 
 class TestPublicApi:
@@ -17,6 +46,7 @@ class TestPublicApi:
 
     def test_subpackage_exports_resolve(self):
         import repro.arq
+        import repro.experiments
         import repro.link
         import repro.phy
         import repro.sim
@@ -24,6 +54,7 @@ class TestPublicApi:
 
         for module in (
             repro.arq,
+            repro.experiments,
             repro.link,
             repro.phy,
             repro.sim,
@@ -35,7 +66,163 @@ class TestPublicApi:
                 )
 
 
+class _RecordingCache(RunCache):
+    """RunCache that records every requested config.
+
+    Shares the wrapped cache's store, so many recorders can audit many
+    experiments while each simulation point runs at most once.
+    """
+
+    def __init__(self, inner: RunCache) -> None:
+        super().__init__(inner.base, jobs=inner.jobs)
+        self._cache = inner._cache
+        self.requested = set()
+
+    def get(self, config=None, **overrides):
+        if config is None:
+            config = self.config_for(**overrides)
+        self.requested.add(config)
+        return super().get(config)
+
+
+@pytest.fixture(scope="module")
+def spec_runs():
+    """Every registered experiment run once against one shared store.
+
+    Yields ``{experiment_id: (spec, requested_configs, result)}`` at
+    tiny duration — structure-only statistics, but full pipelines.
+    """
+    shared = RunCache(duration_s=2.0, seed=5)
+    out = {}
+    for spec in registry.all_specs():
+        recorder = _RecordingCache(shared)
+        result = spec.run(recorder)
+        out[spec.experiment_id] = (spec, recorder.requested, result)
+    return out
+
+
+class TestRegistry:
+    def test_every_paper_result_has_an_experiment(self):
+        specs = registry.all_specs()
+        assert {s.experiment_id for s in specs} == EXPECTED_IDS
+
+    def test_every_module_registers_exactly_once(self):
+        """One exp_* module, one spec — completeness both ways."""
+        registry.discover()
+        modules = {
+            f"repro.experiments.{info.name}"
+            for info in pkgutil.iter_modules(repro.experiments.__path__)
+            if info.name.startswith("exp_")
+        }
+        registered = [s.run.__module__ for s in registry.all_specs()]
+        assert sorted(registered) == sorted(modules)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            registry.register(
+                "fig3",
+                title="imposter",
+                paper_expectation="none",
+            )(lambda cache: None)
+
+    def test_get_spec_unknown_id(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            registry.get_spec("fig99")
+
+    def test_specs_carry_identity(self):
+        spec = registry.get_spec("fig3")
+        assert spec.title
+        assert spec.paper_expectation
+        assert len(spec.points) == 3
+
+    def test_declared_points_match_requests(self, spec_runs):
+        """Every point an experiment requests is declared on its spec,
+        and nothing declared goes unrequested: a missing declaration
+        silently loses --jobs parallelism, a stale one wastes a whole
+        simulation."""
+        for experiment_id, (spec, requested, _) in spec_runs.items():
+            declared = set(spec.configs(RunCache(
+                duration_s=2.0, seed=5
+            ).base))
+            assert declared == requested, (
+                f"{experiment_id}: declared {len(declared)} configs "
+                f"but the experiment requested {len(requested)}"
+            )
+
+    def test_results_well_formed(self, spec_runs):
+        for experiment_id, (spec, _, result) in spec_runs.items():
+            assert result.experiment_id == experiment_id
+            assert result.title == spec.title
+            assert result.paper_expectation == spec.paper_expectation
+            assert result.rendered
+            assert "=== " in result.summary()
+
+
+class TestJsonSchema:
+    def test_round_trip_every_experiment(self, spec_runs):
+        """to_dict() is valid JSON and from_dict() inverts it."""
+        for experiment_id, (_, _, result) in spec_runs.items():
+            data = result.to_dict()
+            encoded = json.dumps(data, sort_keys=True)
+            decoded = json.loads(encoded)
+            rebuilt = ExperimentResult.from_dict(decoded)
+            assert rebuilt.to_dict() == decoded, experiment_id
+            assert rebuilt.experiment_id == experiment_id
+            assert rebuilt.all_passed == result.all_passed
+
+    def test_numpy_series_coerced(self):
+        result = ExperimentResult(
+            experiment_id="t",
+            title="T",
+            paper_expectation="E",
+            rendered="plot",
+            series={
+                "arr": np.arange(3),
+                "scalar": np.float64(1.5),
+                "nested": {(1, 2): np.ones(2), 4: "x"},
+            },
+        )
+        data = result.to_dict()["series"]
+        assert data == {
+            "arr": [0, 1, 2],
+            "scalar": 1.5,
+            "nested": {"1-2": [1.0, 1.0], "4": "x"},
+        }
+
+    def test_unsupported_series_value_rejected(self):
+        result = ExperimentResult(
+            experiment_id="t",
+            title="T",
+            paper_expectation="E",
+            rendered="plot",
+            series={"bad": object()},
+        )
+        with pytest.raises(TypeError, match="JSON"):
+            result.to_dict()
+
+    def test_schema_version_checked(self):
+        with pytest.raises(ValueError, match="schema version"):
+            ExperimentResult.from_dict({"schema_version": 99})
+
+    def test_elapsed_excluded(self):
+        result = ExperimentResult(
+            experiment_id="t",
+            title="T",
+            paper_expectation="E",
+            rendered="plot",
+            elapsed_s=1.23,
+        )
+        assert "elapsed_s" not in json.dumps(result.to_dict())
+
+
 class TestRunnerCli:
+    def test_list(self, capsys):
+        code = main(["--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for experiment_id in EXPECTED_IDS:
+            assert experiment_id in out
+
     def test_single_fast_experiment(self, capsys):
         code = main(["--experiment", "fig13"])
         out = capsys.readouterr().out
@@ -55,53 +242,28 @@ class TestRunnerCli:
         results = run_experiments(["fig16"], duration_s=2.0)
         assert len(results) == 1
         assert results[0].experiment_id == "fig16"
-        assert "elapsed_s" in results[0].series
+        assert results[0].elapsed_s is not None
 
-    def test_experiment_points_map_matches_reality(self):
-        """EXPERIMENT_POINTS must list exactly the (load, carrier
-        sense) points each experiment requests: a missing point
-        silently loses --jobs parallelism, a stale one wastes a whole
-        simulation.  Recorded against tiny-duration runs."""
-        from repro.experiments.common import CapacityRuns
-        from repro.experiments.runner import EXPERIMENTS, EXPERIMENT_POINTS
+    def test_format_json(self, capsys):
+        code = main(["--experiment", "fig13", "--format", "json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        document = json.loads(captured.out)
+        assert document["schema_version"] == 1
+        assert [r["experiment_id"] for r in document["results"]] == [
+            "fig13"
+        ]
+        assert "shape checks passed" in captured.err
 
-        assert set(EXPERIMENT_POINTS) == set(EXPERIMENTS)
-        runs = CapacityRuns(duration_s=2.0, seed=5)
-        requested: set[tuple[float, bool]] = set()
-        original_get = CapacityRuns.get
-
-        def recording_get(self, load_bps, carrier_sense):
-            requested.add((float(load_bps), bool(carrier_sense)))
-            return original_get(self, load_bps, carrier_sense)
-
-        for name, experiment in EXPERIMENTS.items():
-            requested.clear()
-            CapacityRuns.get = recording_get
-            try:
-                experiment(runs)
-            finally:
-                CapacityRuns.get = original_get
-            declared = {
-                (float(load), bool(cs))
-                for load, cs in EXPERIMENT_POINTS[name]
-            }
-            assert declared == requested, (
-                f"{name}: declared {sorted(declared)} but the "
-                f"experiment requested {sorted(requested)}"
-            )
-
-    def test_tiny_capacity_experiment_end_to_end(self):
-        """A minimal-duration delivery experiment exercises the whole
-        simulate-evaluate-check pipeline (statistics too thin for shape
-        guarantees, so only structure is asserted)."""
-        from repro.experiments.common import CapacityRuns
-        from repro.experiments.exp_delivery import run_fig10
-
-        runs = CapacityRuns(duration_s=3.0, seed=5)
-        result = run_fig10(runs)
-        assert result.experiment_id == "fig10"
-        assert len(result.shape_checks) >= 3
-        assert "ppr, postamble" in result.series
+    def test_out_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        code = main(["--experiment", "fig13", "--out", str(out_dir)])
+        capsys.readouterr()
+        assert code == 0
+        data = json.loads((out_dir / "fig13.json").read_text())
+        assert data["experiment_id"] == "fig13"
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["experiments"]["fig13"]["file"] == "fig13.json"
         assert isinstance(
-            result.series["ppr, postamble"], np.ndarray
+            manifest["experiments"]["fig13"]["all_passed"], bool
         )
