@@ -7,14 +7,16 @@ rolls back through its sample buffer and recovers it anyway.
 
 Everything here runs at waveform level: half-sine O-QPSK modulation,
 complex-baseband superposition, AWGN, correlation synchronisation and
-matched-filter demodulation.
+matched-filter demodulation — fused through the batched waveform
+reception engine (one sync pass and one matched-filter + decode call
+for both packets).
 
 Run:  python examples/collision_recovery.py
 """
 
 import numpy as np
 
-from repro import MskModulator, ReceiverFrontend, ZigbeeCodebook
+from repro import MskModulator, WaveformBatchEngine, ZigbeeCodebook
 from repro.phy.channelsim import TransmissionInstance, awgn_collision_channel
 from repro.phy.sync import sync_field_symbols
 
@@ -50,32 +52,24 @@ def main() -> None:
     print(f"capture window: {capture.size} complex samples, "
           f"{overlap} symbols of overlap")
 
-    frontend = ReceiverFrontend(codebook, sps=sps)
+    engine = WaveformBatchEngine(codebook, sps=sps)
 
-    # --- packet 1: normal preamble acquisition ----------------------------
-    pre = frontend.detect(capture, "preamble")
+    # --- packet 1 by preamble, packet 2 by postamble rollback, both --------
+    # --- through one fused sync + matched-filter + decode pass       --------
+    pair = engine.receive_collision_pair(capture, n_body)
     print(f"\npreamble detections : "
-          f"{[(d.sample_offset, round(d.score, 2)) for d in pre]}")
-    det1 = pre[0]
-    sym1, hints1 = frontend.decode_symbols_at(
-        capture, det1.sample_offset, preamble.size, n_body, det1.phase
-    )
-    ok1 = sym1 == body1
-    print(f"packet 1 (preamble path) : {ok1.sum()}/{n_body} correct")
+          f"{[(d.sample_offset, round(d.score, 2)) for d in pair.preamble_detections]}")
+    print(f"postamble detections: "
+          f"{[(d.sample_offset, round(d.score, 2)) for d in pair.postamble_detections]}")
+
+    hints1, hints2 = pair.first.hints, pair.second.hints
+    ok1 = pair.first.symbols == body1
+    print(f"\npacket 1 (preamble path) : {ok1.sum()}/{n_body} correct")
     print(f"  clean-region mean hint : "
           f"{hints1[: n_body - overlap].mean():.2f}")
     print(f"  overlap-region mean hint: "
           f"{hints1[n_body - overlap:].mean():.2f}")
-
-    # --- packet 2: postamble rollback --------------------------------------
-    post = frontend.detect(capture, "postamble")
-    print(f"\npostamble detections: "
-          f"{[(d.sample_offset, round(d.score, 2)) for d in post]}")
-    det2 = max(post, key=lambda d: d.sample_offset)
-    sym2, hints2 = frontend.decode_symbols_at(
-        capture, det2.sample_offset, -n_body, n_body, det2.phase
-    )
-    ok2 = sym2 == body2
+    ok2 = pair.second.symbols == body2
     print(f"packet 2 (postamble rollback) : {ok2.sum()}/{n_body} correct")
 
     # --- what PPR delivers --------------------------------------------------

@@ -51,6 +51,7 @@ from repro.phy import (
     SoftDecisionDecoder,
     SoftPacket,
     SoftSymbol,
+    WaveformBatchEngine,
     ZigbeeCodebook,
 )
 from repro.sim import (
@@ -87,6 +88,7 @@ __all__ = [
     "SoftDecisionDecoder",
     "SoftPacket",
     "SoftSymbol",
+    "WaveformBatchEngine",
     "ZigbeeCodebook",
     "NetworkSimulation",
     "RadioMedium",

@@ -22,9 +22,9 @@ import numpy as np
 from repro.analysis.textplot import render_series
 from repro.experiments.common import ExperimentOutput, RunCache, ShapeCheck
 from repro.experiments.registry import register
+from repro.phy.batch import WaveformBatchEngine
 from repro.phy.channelsim import TransmissionInstance, awgn_collision_channel
 from repro.phy.codebook import ZigbeeCodebook
-from repro.phy.frontend import ReceiverFrontend
 from repro.phy.modulation import MskModulator
 from repro.phy.sync import sync_field_symbols
 from repro.utils.rng import derive_rng
@@ -68,7 +68,7 @@ def run(
     codebook = ZigbeeCodebook()
     rng = derive_rng(seed, "fig13")
     modulator = MskModulator(sps=sps)
-    frontend = ReceiverFrontend(codebook, sps=sps)
+    engine = WaveformBatchEngine(codebook, sps=sps)
 
     preamble = sync_field_symbols("preamble")
     postamble = sync_field_symbols("postamble")
@@ -95,29 +95,13 @@ def run(
         rng=derive_rng(seed, "fig13-noise"),
     )
 
-    # Packet 1: receiver catches its preamble normally.
-    pre_dets = frontend.detect(capture, "preamble")
-    if not pre_dets:
-        raise RuntimeError("packet 1 preamble not detected")
-    det1 = pre_dets[0]
-    sym1, hints1 = frontend.decode_symbols_at(
-        capture,
-        det1.sample_offset,
-        symbol_offset=preamble.size,
-        n_symbols=n_body_symbols,
-        phase=det1.phase,
-    )
-
-    # Packet 2: preamble collided; find its postamble and roll back.
-    post_dets = frontend.detect(capture, "postamble")
-    det2 = max(post_dets, key=lambda d: d.sample_offset)
-    sym2, hints2 = frontend.decode_symbols_at(
-        capture,
-        det2.sample_offset,
-        symbol_offset=-n_body_symbols,
-        n_symbols=n_body_symbols,
-        phase=det2.phase,
-    )
+    # Packet 1 syncs on its (cleanly received) preamble; packet 2's
+    # preamble collided, so it anchors on its postamble and rolls
+    # back.  Both packets' codeword runs go through the engine's fused
+    # matched filter + nearest-codeword decode in one call.
+    pair = engine.receive_collision_pair(capture, n_body_symbols)
+    sym1, hints1 = pair.first.symbols, pair.first.hints
+    sym2, hints2 = pair.second.symbols, pair.second.hints
 
     packet1 = CollisionAnatomy(
         name="first packet (preamble sync)",

@@ -15,6 +15,10 @@ Two fidelity levels share one decoding core:
 
 from repro.phy.batch import (
     BatchReceptionEngine,
+    CollisionPairReception,
+    FrameReception,
+    WaveformBatchEngine,
+    WaveformDecodeRequest,
     decode_samples_batch,
     decode_words_batch,
 )
@@ -45,7 +49,7 @@ from repro.phy.sync import (
     CorrelationSynchronizer,
     RollbackBuffer,
 )
-from repro.phy.frontend import ReceiverFrontend
+from repro.phy.frontend import ChipExtractRequest, ReceiverFrontend
 from repro.phy.convolutional import (
     ConvolutionalCode,
     SovaDecoder,
@@ -54,6 +58,11 @@ from repro.phy.convolutional import (
 
 __all__ = [
     "BatchReceptionEngine",
+    "CollisionPairReception",
+    "FrameReception",
+    "WaveformBatchEngine",
+    "WaveformDecodeRequest",
+    "ChipExtractRequest",
     "decode_samples_batch",
     "decode_words_batch",
     "ConvolutionalCode",

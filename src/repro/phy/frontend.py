@@ -13,14 +13,16 @@ rail parity is preserved.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.phy.codebook import Codebook
 from repro.phy.demodulation import MskDemodulator
 from repro.phy.modulation import MskModulator
-from repro.phy.sync import sync_field_symbols
+from repro.phy.sync import peak_offsets, sync_field_symbols
 from repro.utils.bitops import pack_bits_to_uint32
 
 
@@ -37,6 +39,24 @@ class SyncDetection:
     sample_offset: int
     phase: float
     score: float
+
+
+@dataclass(frozen=True)
+class ChipExtractRequest:
+    """One soft-chip extraction from a batch of captures.
+
+    ``capture`` indexes the capture list handed to
+    :meth:`ReceiverFrontend.extract_batch`; the remaining fields mirror
+    :meth:`ReceiverFrontend.soft_chips_at` (``chip_offset`` may be
+    negative for postamble rollback, and must be even to preserve the
+    O-QPSK rail parity).
+    """
+
+    capture: int
+    anchor_sample: int
+    chip_offset: int
+    n_chips: int
+    phase: float = 0.0
 
 
 class ReceiverFrontend:
@@ -88,31 +108,48 @@ class ReceiverFrontend:
 
     def correlation(self, samples: np.ndarray, kind: str) -> np.ndarray:
         """Normalised sync correlation magnitude at every sample offset."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        return self.correlation_batch(samples[None, :], kind)[0]
+
+    def correlation_batch(
+        self, samples: np.ndarray, kind: str
+    ) -> np.ndarray:
+        """Row-wise sync correlation over equal-length captures:
+        ``(n_captures, n_samples)`` in, ``(n_captures, n_offsets)``
+        out.  Each row is bit-identical to :meth:`correlation` on that
+        capture alone."""
         ref = self._refs[kind]
         samples = np.asarray(samples, dtype=np.complex128)
-        if samples.size < ref.size:
-            return np.zeros(0, dtype=np.float64)
-        raw = np.correlate(samples, ref, mode="valid")
-        energy = np.concatenate([[0.0], np.cumsum(np.abs(samples) ** 2)])
-        win = energy[ref.size :] - energy[: -ref.size]
+        if samples.ndim != 2:
+            raise ValueError(
+                f"samples must be 2-D (n_captures, n_samples), got "
+                f"shape {samples.shape}"
+            )
+        if samples.shape[1] < ref.size:
+            return np.zeros((samples.shape[0], 0), dtype=np.float64)
+        raw = np.stack(
+            [np.correlate(row, ref, mode="valid") for row in samples]
+        )
+        energy = np.concatenate(
+            [
+                np.zeros((samples.shape[0], 1)),
+                np.cumsum(np.abs(samples) ** 2, axis=1),
+            ],
+            axis=1,
+        )
+        win = energy[:, ref.size :] - energy[:, : -ref.size]
         denom = np.sqrt(win) * np.linalg.norm(ref)
         with np.errstate(divide="ignore", invalid="ignore"):
             corr = np.where(denom > 0, np.abs(raw) / denom, 0.0)
         return corr
 
-    def detect(self, samples: np.ndarray, kind: str) -> list[SyncDetection]:
-        """All detections of ``kind`` in the capture, by correlation peak."""
+    def _emit_detections(
+        self, samples: np.ndarray, corr: np.ndarray, kind: str
+    ) -> list[SyncDetection]:
+        """Peak-pick a correlation trace and estimate each peak's phase."""
         ref = self._refs[kind]
-        samples = np.asarray(samples, dtype=np.complex128)
-        corr = self.correlation(samples, kind)
-        above = np.flatnonzero(corr >= self._threshold)
-        if above.size == 0:
-            return []
-        detections: list[SyncDetection] = []
-
-        def _emit(lo: int, hi: int) -> None:
-            segment = corr[lo : hi + 1]
-            peak = int(lo + segment.argmax())
+        detections = []
+        for peak in peak_offsets(corr, self._threshold, ref.size):
             window = samples[peak : peak + ref.size]
             raw = np.dot(window, np.conj(ref))
             detections.append(
@@ -123,17 +160,36 @@ class ReceiverFrontend:
                     score=float(corr[peak]),
                 )
             )
-
-        group_start = int(above[0])
-        prev = int(above[0])
-        for idx in above[1:]:
-            idx = int(idx)
-            if idx - prev > ref.size:
-                _emit(group_start, prev)
-                group_start = idx
-            prev = idx
-        _emit(group_start, prev)
         return detections
+
+    def detect(self, samples: np.ndarray, kind: str) -> list[SyncDetection]:
+        """All detections of ``kind`` in the capture, by correlation peak."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        corr = self.correlation(samples, kind)
+        return self._emit_detections(samples, corr, kind)
+
+    def detect_batch(
+        self, captures: Sequence[np.ndarray], kind: str
+    ) -> list[list[SyncDetection]]:
+        """Detect ``kind`` in many capture windows in one pass.
+
+        Captures may be ragged; equal-length captures are stacked and
+        correlated row-wise (one fused normalisation), so the per-
+        capture results are bit-identical to :meth:`detect`.
+        """
+        captures = [
+            np.asarray(c, dtype=np.complex128) for c in captures
+        ]
+        results: list[list[SyncDetection]] = [[] for _ in captures]
+        by_length: dict[int, list[int]] = defaultdict(list)
+        for i, capture in enumerate(captures):
+            by_length[capture.size].append(i)
+        for indices in by_length.values():
+            stacked = np.stack([captures[i] for i in indices])
+            corr = self.correlation_batch(stacked, kind)
+            for i, row in zip(indices, corr):
+                results[i] = self._emit_detections(captures[i], row, kind)
+        return results
 
     # -- extraction ----------------------------------------------------------
 
@@ -151,6 +207,19 @@ class ReceiverFrontend:
         ``chip_offset`` must be even so the I/Q rail parity matches the
         transmitter.  The capture is derotated by ``phase`` first.
         """
+        samples, start = self._rotated_extract(
+            samples, anchor_sample, chip_offset, phase
+        )
+        return self._demod.demodulate_soft(samples, start, n_chips)
+
+    def _rotated_extract(
+        self,
+        samples: np.ndarray,
+        anchor_sample: int,
+        chip_offset: int,
+        phase: float,
+    ) -> tuple[np.ndarray, int]:
+        """Validate an extraction and derotate its capture."""
         if chip_offset % 2 != 0:
             raise ValueError(
                 f"chip_offset must be even to preserve O-QPSK rail "
@@ -164,7 +233,34 @@ class ReceiverFrontend:
         samples = np.asarray(samples, dtype=np.complex128)
         if phase != 0.0:
             samples = samples * np.exp(-1j * phase)
-        return self._demod.demodulate_soft(samples, start, n_chips)
+        return samples, start
+
+    def extract_batch(
+        self,
+        captures: Sequence[np.ndarray],
+        requests: Sequence[ChipExtractRequest],
+    ) -> list[np.ndarray]:
+        """Soft chips for many extraction requests in one fused
+        matched-filter pass.
+
+        All requests' chip windows are reduced against the pulse in a
+        single call (:meth:`MskDemodulator.demodulate_soft_batch`), so
+        each result is bit-identical to :meth:`soft_chips_at` with the
+        same arguments.
+        """
+        captures = [
+            np.asarray(c, dtype=np.complex128) for c in captures
+        ]
+        prepared = []
+        for request in requests:
+            samples, start = self._rotated_extract(
+                captures[request.capture],
+                request.anchor_sample,
+                request.chip_offset,
+                request.phase,
+            )
+            prepared.append((samples, start, request.n_chips))
+        return self._demod.demodulate_soft_batch(prepared)
 
     def decode_symbols_at(
         self,

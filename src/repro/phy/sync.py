@@ -38,6 +38,27 @@ def sync_field_symbols(kind: str) -> np.ndarray:
     raise ValueError(f"kind must be 'preamble' or 'postamble', got {kind!r}")
 
 
+def peak_offsets(
+    corr: np.ndarray, threshold: float, min_gap: int
+) -> list[int]:
+    """Non-maximum suppression over a correlation trace.
+
+    Above-threshold offsets are grouped wherever consecutive indices
+    are at most ``min_gap`` apart (``np.split`` on the gap boundaries
+    — no per-index Python walk); each group contributes the offset of
+    its correlation maximum, mirroring a hardware correlator's peak
+    detector.
+    """
+    above = np.flatnonzero(corr >= threshold)
+    if above.size == 0:
+        return []
+    boundaries = np.flatnonzero(np.diff(above) > min_gap) + 1
+    return [
+        int(group[0] + corr[group[0] : group[-1] + 1].argmax())
+        for group in np.split(above, boundaries)
+    ]
+
+
 class CorrelationSynchronizer:
     """Sliding normalised correlation against a known chip pattern.
 
@@ -78,44 +99,118 @@ class CorrelationSynchronizer:
         """Detection threshold on normalised correlation."""
         return self._threshold
 
-    def correlate(self, chips: np.ndarray) -> np.ndarray:
+    def _prepare(
+        self, chips: np.ndarray, hard: bool | None
+    ) -> np.ndarray:
+        """Map chips to the ±1 domain the pattern lives in.
+
+        ``hard=None`` infers from the dtype: integer/bool arrays are
+        hard 0/1 chips (mapped to ±1), floating arrays are soft
+        matched-filter outputs used as-is.  The old value-range
+        heuristic (``min() >= 0 and max() <= 1``) silently remapped
+        genuine soft chips that happened to land in [0, 1]; pass
+        ``hard`` explicitly to override the dtype inference.
+        """
+        chips = np.asarray(chips)
+        if hard is None:
+            hard = chips.dtype.kind in "bui"
+        chips = chips.astype(np.float64, copy=False)
+        if hard:
+            if chips.size and not ((chips == 0) | (chips == 1)).all():
+                raise ValueError("hard chips must be 0/1")
+            chips = chips * 2.0 - 1.0
+        return chips
+
+    def correlate(
+        self, chips: np.ndarray, hard: bool | None = None
+    ) -> np.ndarray:
         """Normalised correlation at every alignment (valid mode).
 
-        ``chips`` may be hard 0/1 chips or soft ±1-ish samples; hard
-        chips are mapped to ±1 first.  Output values lie in [-1, 1].
+        ``chips`` may be hard 0/1 chips (integer dtype, mapped to ±1)
+        or soft ±1-ish matched-filter outputs (floating dtype, used
+        as-is); pass ``hard`` to override the dtype inference.  Output
+        values lie in [-1, 1].
         """
-        chips = np.asarray(chips, dtype=np.float64)
-        if chips.size < self._pattern.size:
-            return np.zeros(0, dtype=np.float64)
-        if chips.size and chips.min() >= 0.0 and chips.max() <= 1.0:
-            chips = chips * 2.0 - 1.0
-        raw = np.correlate(chips, self._pattern, mode="valid")
+        chips = np.asarray(chips)
+        if chips.ndim != 1:
+            raise ValueError(
+                f"chips must be 1-D (use correlate_many for stacked "
+                f"captures), got shape {chips.shape}"
+            )
+        return self.correlate_many(chips[None, :], hard)[0]
+
+    def correlate_many(
+        self, chips: np.ndarray, hard: bool | None = None
+    ) -> np.ndarray:
+        """Row-wise normalised correlation over many equal-length
+        captures at once: ``(n_captures, n_chips)`` in,
+        ``(n_captures, n_offsets)`` out.
+
+        Each row is bit-identical to :meth:`correlate` on that row
+        alone — the raw correlation is per-row and the cumulative-
+        energy normalisation reduces along the row axis.
+        """
+        chips = np.asarray(chips)
+        if chips.ndim != 2:
+            raise ValueError(
+                f"chips must be 2-D (n_captures, n_chips), got "
+                f"shape {chips.shape}"
+            )
+        chips = self._prepare(chips, hard)
+        psize = self._pattern.size
+        if chips.shape[1] < psize:
+            return np.zeros((chips.shape[0], 0), dtype=np.float64)
+        raw = np.stack(
+            [
+                np.correlate(row, self._pattern, mode="valid")
+                for row in chips
+            ]
+        )
         # Windowed energy of the received chips for normalisation.
-        sq = np.concatenate([[0.0], np.cumsum(chips**2)])
-        win = sq[self._pattern.size :] - sq[: -self._pattern.size]
+        sq = np.concatenate(
+            [
+                np.zeros((chips.shape[0], 1)),
+                np.cumsum(chips**2, axis=1),
+            ],
+            axis=1,
+        )
+        win = sq[:, psize:] - sq[:, :-psize]
         denom = np.sqrt(win) * self._pattern_norm
         with np.errstate(divide="ignore", invalid="ignore"):
             corr = np.where(denom > 0, raw / denom, 0.0)
         return corr
 
-    def detect(self, chips: np.ndarray) -> list[int]:
+    def correlate_reference(
+        self, chips: np.ndarray, hard: bool | None = None
+    ) -> np.ndarray:
+        """Per-offset loop implementation, kept as the executable spec
+        for :meth:`correlate` (pinned bit-for-bit by the equivalence
+        suite): a scalar running energy sum plays the cumulative-energy
+        trick's role, one dot product per alignment."""
+        chips = self._prepare(np.asarray(chips), hard)
+        psize = self._pattern.size
+        n = chips.size
+        if n < psize:
+            return np.zeros(0, dtype=np.float64)
+        sq = np.empty(n + 1, dtype=np.float64)
+        sq[0] = 0.0
+        acc = 0.0
+        for i in range(n):
+            acc += chips[i] * chips[i]
+            sq[i + 1] = acc
+        out = np.empty(n - psize + 1, dtype=np.float64)
+        for i in range(out.size):
+            raw = np.dot(chips[i : i + psize], self._pattern)
+            denom = np.sqrt(sq[i + psize] - sq[i]) * self._pattern_norm
+            out[i] = raw / denom if denom > 0 else 0.0
+        return out
+
+    def detect(
+        self, chips: np.ndarray, hard: bool | None = None
+    ) -> list[int]:
         """Chip offsets where the sync pattern is detected."""
-        corr = self.correlate(chips)
-        above = np.flatnonzero(corr >= self._threshold)
-        if above.size == 0:
-            return []
-        detections: list[int] = []
-        group_start = above[0]
-        prev = above[0]
-        for idx in above[1:]:
-            if idx - prev > self._pattern.size:
-                segment = corr[group_start : prev + 1]
-                detections.append(int(group_start + segment.argmax()))
-                group_start = idx
-            prev = idx
-        segment = corr[group_start : prev + 1]
-        detections.append(int(group_start + segment.argmax()))
-        return detections
+        corr = self.correlate(chips, hard)
+        return peak_offsets(corr, self._threshold, self._pattern.size)
 
 
 class RollbackBuffer:
@@ -188,8 +283,15 @@ class RollbackBuffer:
                 f"samples up to {abs_start + count} not yet written "
                 f"(have {self._written})"
             )
-        idx = (np.arange(abs_start, abs_start + count)) % self._capacity
-        return self._buf[idx].copy()
+        # A retained range spans at most one wrap point, so it is at
+        # most two contiguous slices — no per-sample fancy index.
+        pos = abs_start % self._capacity
+        first = min(count, self._capacity - pos)
+        if first == count:
+            return self._buf[pos : pos + count].copy()
+        return np.concatenate(
+            [self._buf[pos:], self._buf[: count - first]]
+        )
 
     def get_last(self, count: int) -> np.ndarray:
         """The most recent ``count`` samples."""

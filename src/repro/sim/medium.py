@@ -5,14 +5,23 @@ shadowing, the standard indoor model.  Shadowing is frozen per directed
 link for a whole run (office links are static on experiment
 timescales), seeded deterministically so every experiment is
 repeatable.
+
+The medium also bridges to the waveform path:
+:meth:`RadioMedium.amplitude_gain` scales complex-baseband waveforms
+by the link budget, and :func:`waveform_capture` renders a set of
+(possibly colliding) transmissions into one receiver's capture window
+for the :class:`~repro.phy.batch.WaveformBatchEngine` — the same
+geometry the chip-level simulation uses, at sample fidelity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.phy.channelsim import TransmissionInstance, awgn_collision_channel
 from repro.utils.rng import derive_rng
 from repro.utils.units import dbm_to_mw
 
@@ -166,6 +175,16 @@ class RadioMedium:
         """Interference-free linear SNR of a link."""
         return self.rx_power_mw(sender, receiver) / self._noise_mw
 
+    def amplitude_gain(self, sender: int, receiver: int) -> float:
+        """Complex-baseband amplitude scale of a link (√ received mW).
+
+        A unit-amplitude waveform from ``sender`` arrives at
+        ``receiver`` multiplied by this; squaring it recovers
+        :meth:`rx_power_mw`, so waveform-level captures built with it
+        see the same link budget as the chip-level simulation.
+        """
+        return float(np.sqrt(self.rx_power_mw(sender, receiver)))
+
     def carrier_sensed_power_mw(
         self, listener: int, active: list[Transmission]
     ) -> float:
@@ -213,3 +232,58 @@ class RadioMedium:
             if hi_idx > lo_idx:
                 interference[lo_idx:hi_idx] += power
         return interference
+
+
+def waveform_instances(
+    medium: RadioMedium,
+    receiver: int,
+    transmissions: Sequence[Transmission],
+    waves: Sequence[np.ndarray],
+    sample_rate: float,
+) -> list[TransmissionInstance]:
+    """Place transmissions' waveforms on a receiver's capture window.
+
+    ``waves`` holds each transmission's unit-scale complex-baseband
+    waveform; sample offsets come from the start times (relative to
+    the earliest transmission) and amplitudes from the medium's link
+    budget (:meth:`RadioMedium.amplitude_gain`).  Feed the result to
+    :func:`repro.phy.channelsim.mix_transmissions` /
+    :func:`waveform_capture`.
+    """
+    if not transmissions:
+        raise ValueError("need at least one transmission")
+    if sample_rate <= 0:
+        raise ValueError(
+            f"sample_rate must be positive, got {sample_rate}"
+        )
+    t0 = min(t.start for t in transmissions)
+    return [
+        TransmissionInstance(
+            samples=wave,
+            offset=int(round((t.start - t0) * sample_rate)),
+            gain=medium.amplitude_gain(t.sender, receiver),
+        )
+        for t, wave in zip(transmissions, waves, strict=True)
+    ]
+
+
+def waveform_capture(
+    medium: RadioMedium,
+    receiver: int,
+    transmissions: Sequence[Transmission],
+    waves: Sequence[np.ndarray],
+    sample_rate: float,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """One receiver's capture of (possibly colliding) transmissions.
+
+    Superposes the link-budget-scaled waveforms and adds AWGN at the
+    medium's noise floor — the sample-fidelity counterpart of the
+    chip-level :meth:`RadioMedium.interference_timeline_mw` path, and
+    the input format of the
+    :class:`~repro.phy.batch.WaveformBatchEngine`.
+    """
+    instances = waveform_instances(
+        medium, receiver, transmissions, waves, sample_rate
+    )
+    return awgn_collision_channel(instances, medium.noise_mw, rng=rng)

@@ -152,6 +152,38 @@ def wall_count_matrix(
     return counts
 
 
+def collision_testbed(
+    near_m: float = 4.0, far_m: float = 9.0
+) -> TestbedConfig:
+    """Two senders at unequal ranges from one receiver.
+
+    The waveform capture-effect geometry: when both senders overlap on
+    the air, the near sender's frame survives at the receiver while the
+    far sender's overlapped region is destroyed — the asymmetry the
+    waveform-level collision experiments exercise through
+    :func:`repro.sim.medium.waveform_capture`.
+    """
+    if near_m <= 0 or far_m <= 0:
+        raise ValueError(
+            f"distances must be positive, got {near_m} and {far_m}"
+        )
+    if near_m >= far_m:
+        raise ValueError(
+            f"near sender must be closer than the far one, got "
+            f"{near_m} >= {far_m}"
+        )
+    positions = np.array(
+        [[-near_m, 0.0], [far_m, 0.0], [0.0, 0.0]]
+    )
+    return TestbedConfig(
+        positions_m=positions,
+        sender_ids=(0, 1),
+        receiver_ids=(2,),
+        room_grid=(1, 1),
+        area_m=(near_m + far_m, 1.0),
+    )
+
+
 def single_link_testbed(distance_m: float = 5.0) -> TestbedConfig:
     """A two-node layout for single-link experiments (paper §7.5)."""
     if distance_m <= 0:

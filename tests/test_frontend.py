@@ -136,3 +136,73 @@ class TestDecoding:
 
     def test_sync_pattern_chips(self, frontend):
         assert frontend.sync_pattern_chips("preamble") == 320
+
+
+class TestBatchApi:
+    def test_detect_batch_ragged_matches_single(
+        self, frontend, codebook, rng
+    ):
+        captures = []
+        for n_body in (20, 45, 20):
+            _, wave = _make_frame(codebook, rng, n_body=n_body)
+            captures.append(add_awgn(wave, 0.08, rng))
+        captures.append(add_awgn(np.zeros(5000, dtype=complex), 1.0, rng))
+        for kind in ("preamble", "postamble"):
+            batch = frontend.detect_batch(captures, kind)
+            assert len(batch) == len(captures)
+            for capture, detections in zip(captures, batch):
+                assert detections == frontend.detect(capture, kind)
+
+    def test_detect_batch_empty_list(self, frontend):
+        assert frontend.detect_batch([], "preamble") == []
+
+    def test_correlation_batch_single_row(self, frontend, codebook, rng):
+        _, wave = _make_frame(codebook, rng)
+        noisy = add_awgn(wave, 0.1, rng)
+        rows = frontend.correlation_batch(noisy[None, :], "preamble")
+        assert np.array_equal(
+            rows[0], frontend.correlation(noisy, "preamble")
+        )
+
+    def test_correlation_batch_rejects_1d(self, frontend):
+        with pytest.raises(ValueError, match="2-D"):
+            frontend.correlation_batch(
+                np.zeros(4000, dtype=complex), "preamble"
+            )
+
+    def test_extract_batch_matches_soft_chips_at(
+        self, frontend, codebook, rng
+    ):
+        from repro.phy.frontend import ChipExtractRequest
+
+        _, wave1 = _make_frame(codebook, rng, n_body=30)
+        _, wave2 = _make_frame(codebook, rng, n_body=50)
+        captures = [add_awgn(wave1, 0.1, rng), add_awgn(wave2, 0.1, rng)]
+        requests = [
+            ChipExtractRequest(0, 320, 0, 96, 0.4),
+            ChipExtractRequest(1, 7680, -640, 640, 0.0),
+            ChipExtractRequest(0, 0, 320, 32, -0.9),
+        ]
+        batch = frontend.extract_batch(captures, requests)
+        for request, soft in zip(requests, batch):
+            single = frontend.soft_chips_at(
+                captures[request.capture],
+                request.anchor_sample,
+                request.chip_offset,
+                request.n_chips,
+                request.phase,
+            )
+            assert np.array_equal(soft, single)
+
+    def test_extract_batch_validates_requests(self, frontend):
+        from repro.phy.frontend import ChipExtractRequest
+
+        captures = [np.zeros(1000, dtype=complex)]
+        with pytest.raises(ValueError, match="even"):
+            frontend.extract_batch(
+                captures, [ChipExtractRequest(0, 0, 3, 10)]
+            )
+        with pytest.raises(ValueError, match="before the capture"):
+            frontend.extract_batch(
+                captures, [ChipExtractRequest(0, 0, -2, 2)]
+            )

@@ -33,6 +33,7 @@ EXPECTED_IDS = {
     "fig15",
     "fig16",
     "sweep_load",
+    "waveform_capture",
 }
 
 

@@ -92,6 +92,76 @@ class TestCorrelationSynchronizer:
         sync = CorrelationSynchronizer(codebook, "preamble")
         assert sync.pattern_chips == 10 * 32
 
+    def test_soft_chips_in_unit_interval_not_remapped(self, codebook):
+        """Regression: genuine soft chips that happen to land in [0, 1]
+        must not be silently remapped to ±1 (the old value-range
+        heuristic did).  Floating dtype means soft."""
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        pattern = codebook.encode(sync_field_symbols("preamble"))
+        # Attenuated soft outputs: 0/1 chips mapped into [0.1, 0.9].
+        soft = pattern.astype(np.float64) * 0.8 + 0.1
+        corr = sync.correlate(soft)
+        remapped = sync.correlate(pattern.astype(np.float64), hard=True)
+        assert not np.array_equal(corr, remapped)
+        # Explicit override: treating the same values as hard chips
+        # reproduces the ±1 mapping exactly.
+        assert np.array_equal(
+            sync.correlate(pattern, hard=True), remapped
+        )
+
+    def test_hard_flag_validates_binary(self, codebook):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        with pytest.raises(ValueError, match="0/1"):
+            sync.correlate(np.full(400, 0.5), hard=True)
+
+    def test_hard_inferred_from_integer_dtype(self, codebook, rng):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        chips = codebook.encode(sync_field_symbols("preamble"))
+        inferred = sync.correlate(chips)
+        explicit = sync.correlate(chips, hard=True)
+        assert np.array_equal(inferred, explicit)
+        assert inferred[0] == pytest.approx(1.0)
+
+    def test_detect_matches_reference_walk(self, codebook, rng):
+        """The np.split non-maximum suppression must group and peak
+        exactly like the original per-index walk."""
+        sync = CorrelationSynchronizer(codebook, "preamble", threshold=0.7)
+        field = codebook.encode(sync_field_symbols("preamble"))
+        for trial in range(5):
+            pieces = [field]
+            for _ in range(int(rng.integers(1, 4))):
+                pieces.append(codebook.encode(rng.integers(0, 16, 30)))
+                pieces.append(field)
+            chips = np.concatenate(pieces)
+            flip = rng.choice(
+                chips.size, size=chips.size // 30, replace=False
+            )
+            chips = chips.copy()
+            chips[flip] ^= 1
+            corr = sync.correlate(chips)
+            assert sync.detect(chips) == _reference_nms(
+                corr, sync.threshold, sync.pattern_chips
+            )
+
+
+def _reference_nms(corr, threshold, min_gap):
+    """The original per-index NMS walk, kept as the test's spec."""
+    above = np.flatnonzero(corr >= threshold)
+    if above.size == 0:
+        return []
+    detections = []
+    group_start = above[0]
+    prev = above[0]
+    for idx in above[1:]:
+        if idx - prev > min_gap:
+            segment = corr[group_start : prev + 1]
+            detections.append(int(group_start + segment.argmax()))
+            group_start = idx
+        prev = idx
+    segment = corr[group_start : prev + 1]
+    detections.append(int(group_start + segment.argmax()))
+    return detections
+
 
 class TestRollbackBuffer:
     def test_basic_append_and_get(self):
@@ -132,6 +202,47 @@ class TestRollbackBuffer:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             RollbackBuffer(capacity=0)
+
+    def test_get_range_spanning_wrap_point(self):
+        """A range crossing the circular wrap point is served as two
+        contiguous slices; values must match the ground-truth stream."""
+        buf = RollbackBuffer(capacity=8)
+        buf.append(np.arange(13, dtype=complex))
+        # Samples 5..12 live in the buffer; 6..11 wraps (pos 6, 7, 0..3).
+        assert buf.get_range(6, 6) == pytest.approx(np.arange(6, 12))
+        assert buf.get_range(5, 8) == pytest.approx(np.arange(5, 13))
+        assert buf.get_range(8, 2) == pytest.approx([8, 9])
+        assert buf.get_range(7, 0).size == 0
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=20),
+            min_size=1,
+            max_size=15,
+        ),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_get_range_matches_reference_stream(self, chunk_sizes, seed):
+        """Every retrievable (start, count) window equals the same
+        window of the ground-truth concatenated stream."""
+        capacity = 16
+        buf = RollbackBuffer(capacity=capacity)
+        stream = np.zeros(0, dtype=complex)
+        value = 0
+        for size in chunk_sizes:
+            chunk = np.arange(value, value + size, dtype=complex)
+            value += size
+            buf.append(chunk)
+            stream = np.concatenate([stream, chunk])
+        rng = np.random.default_rng(seed)
+        oldest = buf.oldest_available
+        for _ in range(10):
+            start = int(rng.integers(oldest, buf.total_written + 1))
+            count = int(rng.integers(0, buf.total_written - start + 1))
+            assert buf.get_range(start, count) == pytest.approx(
+                stream[start : start + count]
+            )
 
     @given(
         st.lists(

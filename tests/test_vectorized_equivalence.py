@@ -2,12 +2,13 @@
 
 The batched reception engine rewrote the SOVA trellis walk, the
 Eq. 4/5 chunking DP, and per-reception nearest-codeword decoding as
-numpy array programs.  Each rewrite keeps its original pure-Python
-implementation as an executable specification; these tests pin the
-vectorized paths to the references **bit-for-bit** (decisions) and
-**float-for-float** (hints/costs) across randomized codes, noise
-levels, and the edge cases where tie-breaking and unreachable trellis
-states matter.
+numpy array programs; the waveform engine did the same to MSK
+modulation, the matched filter, and sync correlation.  Each rewrite
+keeps its original pure-Python implementation as an executable
+specification; these tests pin the vectorized paths to the references
+**bit-for-bit** (decisions) and **float-for-float** (hints/costs/
+waveforms) across randomized codes, noise levels, and the edge cases
+where tie-breaking and unreachable trellis states matter.
 """
 
 from __future__ import annotations
@@ -22,13 +23,20 @@ from repro.arq.chunking import plan_chunks, plan_chunks_reference
 from repro.arq.runlength import RunLengthPacket
 from repro.phy.batch import (
     BatchReceptionEngine,
+    WaveformBatchEngine,
+    WaveformDecodeRequest,
     decode_samples_batch,
     decode_words_batch,
 )
+from repro.phy.channelsim import add_awgn
 from repro.phy.chipchannel import transmit_chipwords
 from repro.phy.codebook import ZigbeeCodebook
 from repro.phy.convolutional import ConvolutionalCode, SovaDecoder
 from repro.phy.decoder import HardDecisionDecoder, SoftDecisionDecoder
+from repro.phy.demodulation import MskDemodulator
+from repro.phy.frontend import ChipExtractRequest, ReceiverFrontend
+from repro.phy.modulation import MskModulator
+from repro.phy.sync import CorrelationSynchronizer, sync_field_symbols
 from repro.sim.network import NetworkSimulation, SimulationConfig
 
 # Standard generator pairs per constraint length (octal), so the
@@ -263,6 +271,362 @@ class TestBatchedDecoders:
         assert len(out) == 3
         for symbols, dists in out:
             assert symbols.size == 0 and dists.size == 0
+
+
+def _frame_capture(codebook, rng, n_body, sps, noise=0.08):
+    """A noisy single-frame capture plus its body symbols."""
+    body = rng.integers(0, 16, n_body)
+    stream = np.concatenate(
+        [
+            sync_field_symbols("preamble"),
+            body,
+            sync_field_symbols("postamble"),
+        ]
+    )
+    wave = MskModulator(sps=sps).modulate_symbols(stream, codebook)
+    return body, add_awgn(wave, noise, rng)
+
+
+class TestModulatorEquivalence:
+    @pytest.mark.parametrize("sps", [2, 3, 4, 5, 8])
+    def test_random_chips_bit_identical(self, sps, rng):
+        mod = MskModulator(sps=sps, amplitude=1.3)
+        for n in (0, 2, 8, 64, 1500):
+            chips = rng.integers(0, 2, n)
+            vec = mod.modulate_chips(chips)
+            ref = mod.modulate_chips_reference(chips)
+            assert np.array_equal(
+                vec.view(np.float64), ref.view(np.float64)
+            ), f"(sps={sps}, n={n})"
+
+    def test_single_codeword(self, codebook, rng):
+        mod = MskModulator(sps=3)
+        chips = codebook.encode(rng.integers(0, 16, 1))
+        vec = mod.modulate_chips(chips)
+        ref = mod.modulate_chips_reference(chips)
+        assert np.array_equal(vec.view(np.float64), ref.view(np.float64))
+
+    def test_reference_validates_like_vectorized(self):
+        mod = MskModulator(sps=4)
+        for method in (mod.modulate_chips, mod.modulate_chips_reference):
+            with pytest.raises(ValueError, match="even"):
+                method(np.zeros(3, dtype=np.int64))
+            with pytest.raises(ValueError, match="0/1"):
+                method(np.array([0, 2]))
+
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 7), st.integers(0, 120))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_property(self, seed, sps, half_chips):
+        rng = np.random.default_rng(seed)
+        mod = MskModulator(sps=sps)
+        chips = rng.integers(0, 2, 2 * half_chips)
+        vec = mod.modulate_chips(chips)
+        ref = mod.modulate_chips_reference(chips)
+        assert np.array_equal(vec.view(np.float64), ref.view(np.float64))
+
+
+class TestDemodulatorEquivalence:
+    @pytest.mark.parametrize("sps", [2, 3, 4, 5, 8])
+    def test_noisy_captures_bit_identical(self, sps, rng):
+        demod = MskDemodulator(sps=sps)
+        mod = MskModulator(sps=sps)
+        for n in (2, 32, 500):
+            chips = rng.integers(0, 2, n)
+            capture = add_awgn(mod.modulate_chips(chips), 0.3, rng)
+            for start in (0, 1, sps):
+                m = (capture.size - start - 2 * sps) // sps + 1
+                m = min(max(m, 0), n)
+                vec = demod.demodulate_soft(capture, start, m)
+                ref = demod.demodulate_soft_reference(capture, start, m)
+                assert np.array_equal(vec, ref), (
+                    f"(sps={sps}, n={n}, start={start})"
+                )
+
+    def test_zero_chips(self):
+        demod = MskDemodulator(sps=5)
+        capture = np.zeros(40, dtype=np.complex128)
+        assert np.array_equal(
+            demod.demodulate_soft(capture, 0, 0),
+            demod.demodulate_soft_reference(capture, 0, 0),
+        )
+        assert demod.demodulate_soft(capture, 0, 0).size == 0
+
+    def test_single_codeword(self, codebook, rng):
+        sps = 3
+        demod = MskDemodulator(sps=sps)
+        mod = MskModulator(sps=sps)
+        chips = codebook.encode(rng.integers(0, 16, 1))
+        capture = add_awgn(mod.modulate_chips(chips), 0.2, rng)
+        vec = demod.demodulate_soft(capture, 0, 32)
+        ref = demod.demodulate_soft_reference(capture, 0, 32)
+        assert np.array_equal(vec, ref)
+
+    def test_soft_chip_matrix_inherits_vectorized_path(self, codebook, rng):
+        demod = MskDemodulator(sps=4)
+        mod = MskModulator(sps=4)
+        symbols = rng.integers(0, 16, 12)
+        capture = add_awgn(mod.modulate_symbols(symbols, codebook), 0.1, rng)
+        matrix = demod.soft_chip_matrix(capture, 0, 12)
+        ref = demod.demodulate_soft_reference(capture, 0, 12 * 32)
+        assert np.array_equal(matrix.ravel(), ref)
+
+    def test_batch_matches_single(self, rng):
+        demod = MskDemodulator(sps=4)
+        mod = MskModulator(sps=4)
+        captures = [
+            add_awgn(
+                mod.modulate_chips(rng.integers(0, 2, n)), 0.4, rng
+            )
+            for n in (10, 64, 2)
+        ]
+        requests = [
+            (captures[0], 0, 10),
+            (captures[1], 4, 50),
+            (captures[2], 0, 0),
+            (captures[1], 0, 64),
+        ]
+        batch = demod.demodulate_soft_batch(requests)
+        for (samples, start, n_chips), soft in zip(requests, batch):
+            assert np.array_equal(
+                soft, demod.demodulate_soft(samples, start, n_chips)
+            )
+
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 6), st.integers(1, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_property(self, seed, sps, half_chips):
+        rng = np.random.default_rng(seed)
+        demod = MskDemodulator(sps=sps)
+        mod = MskModulator(sps=sps)
+        chips = rng.integers(0, 2, 2 * half_chips)
+        capture = add_awgn(mod.modulate_chips(chips), 0.5, rng)
+        vec = demod.demodulate_soft(capture, 0, chips.size)
+        ref = demod.demodulate_soft_reference(capture, 0, chips.size)
+        assert np.array_equal(vec, ref)
+
+
+class TestCorrelatorEquivalence:
+    def _stream(self, codebook, rng, kind="preamble", at_symbol=15):
+        body = rng.integers(0, 16, 50)
+        field = sync_field_symbols(kind)
+        return codebook.encode(
+            np.concatenate([body[:at_symbol], field, body[at_symbol:]])
+        )
+
+    def test_hard_chips_bit_identical(self, codebook, rng):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        chips = self._stream(codebook, rng)
+        assert np.array_equal(
+            sync.correlate(chips), sync.correlate_reference(chips)
+        )
+
+    def test_soft_chips_bit_identical(self, codebook, rng):
+        sync = CorrelationSynchronizer(codebook, "postamble")
+        chips = self._stream(codebook, rng, kind="postamble")
+        soft = (chips * 2.0 - 1.0) + rng.normal(0.0, 0.6, chips.size)
+        assert np.array_equal(
+            sync.correlate(soft), sync.correlate_reference(soft)
+        )
+
+    def test_short_input(self, codebook):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        short = np.zeros(sync.pattern_chips - 1, dtype=np.uint8)
+        assert sync.correlate(short).size == 0
+        assert sync.correlate_reference(short).size == 0
+
+    def test_correlate_many_rows_match_single(self, codebook, rng):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        rows = np.stack(
+            [self._stream(codebook, rng, at_symbol=k) for k in (5, 20, 40)]
+        )
+        many = sync.correlate_many(rows)
+        for row, corr in zip(rows, many):
+            assert np.array_equal(corr, sync.correlate(row))
+
+    def test_correlate_many_rejects_1d(self, codebook):
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        with pytest.raises(ValueError, match="2-D"):
+            sync.correlate_many(np.zeros(400))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_equivalence_property(self, seed):
+        rng = np.random.default_rng(seed)
+        codebook = ZigbeeCodebook()
+        sync = CorrelationSynchronizer(codebook, "preamble")
+        chips = rng.integers(0, 2, int(rng.integers(320, 1200))).astype(
+            np.uint8
+        )
+        assert np.array_equal(
+            sync.correlate(chips), sync.correlate_reference(chips)
+        )
+
+
+class TestWaveformBatchEngineEquivalence:
+    SPS = 4
+
+    @pytest.fixture()
+    def engine(self, codebook):
+        return WaveformBatchEngine(codebook, sps=self.SPS)
+
+    @pytest.fixture()
+    def frontend(self, codebook):
+        return ReceiverFrontend(codebook, sps=self.SPS)
+
+    def _ragged_captures(self, codebook, rng):
+        """Frames of different lengths plus a pure-noise window."""
+        bodies, captures = [], []
+        for n_body in (30, 12, 30, 45):
+            body, capture = _frame_capture(
+                codebook, rng, n_body, self.SPS
+            )
+            bodies.append(body)
+            captures.append(capture)
+        captures.append(
+            add_awgn(np.zeros(4000, dtype=np.complex128), 1.0, rng)
+        )
+        bodies.append(None)
+        return bodies, captures
+
+    @pytest.mark.parametrize("kind", ["preamble", "postamble"])
+    def test_detect_batch_matches_single(
+        self, engine, frontend, codebook, rng, kind
+    ):
+        _, captures = self._ragged_captures(codebook, rng)
+        batch = engine.detect_batch(captures, kind)
+        assert len(batch) == len(captures)
+        for capture, detections in zip(captures, batch):
+            assert detections == frontend.detect(capture, kind)
+
+    def test_extract_batch_matches_single(self, frontend, codebook, rng):
+        _, captures = self._ragged_captures(codebook, rng)
+        requests = [
+            ChipExtractRequest(0, 0, 320, 64, 0.3),
+            ChipExtractRequest(1, 1280, -320, 320, 0.0),
+            ChipExtractRequest(2, 0, 0, 0, 0.0),
+            ChipExtractRequest(0, 640, 2, 100, -1.2),
+        ]
+        batch = frontend.extract_batch(captures, requests)
+        for request, soft in zip(requests, batch):
+            single = frontend.soft_chips_at(
+                captures[request.capture],
+                request.anchor_sample,
+                request.chip_offset,
+                request.n_chips,
+                request.phase,
+            )
+            assert np.array_equal(soft, single)
+
+    def test_decode_batch_matches_single(
+        self, engine, frontend, codebook, rng
+    ):
+        bodies, captures = self._ragged_captures(codebook, rng)
+        preamble_symbols = sync_field_symbols("preamble").size
+        requests = []
+        for i, body in enumerate(bodies):
+            if body is None:
+                continue
+            det = frontend.detect(captures[i], "preamble")[0]
+            requests.append(
+                WaveformDecodeRequest(
+                    capture=i,
+                    anchor_sample=det.sample_offset,
+                    symbol_offset=preamble_symbols,
+                    n_symbols=body.size,
+                    phase=det.phase,
+                )
+            )
+        decoded = engine.decode_symbols_batch(captures, requests)
+        assert len(decoded) == len(requests)
+        for request, (symbols, hints) in zip(requests, decoded):
+            single_symbols, single_hints = frontend.decode_symbols_at(
+                captures[request.capture],
+                request.anchor_sample,
+                request.symbol_offset,
+                request.n_symbols,
+                request.phase,
+            )
+            assert np.array_equal(symbols, single_symbols)
+            assert np.array_equal(hints, single_hints)
+
+    def test_decode_batch_empty_requests(self, engine, codebook, rng):
+        _, captures = self._ragged_captures(codebook, rng)
+        assert engine.decode_symbols_batch(captures, []) == []
+
+    def test_receive_frames_policy(self, engine, codebook, rng):
+        """Same-size frames: every clean capture decodes its body via
+        the preamble; a noise capture yields an empty reception."""
+        bodies, captures = [], []
+        for _ in range(3):
+            body, capture = _frame_capture(codebook, rng, 25, self.SPS)
+            bodies.append(body)
+            captures.append(capture)
+        captures.append(
+            add_awgn(np.zeros(6000, dtype=np.complex128), 1.0, rng)
+        )
+        receptions = engine.receive_frames(captures, 25)
+        assert len(receptions) == 4
+        for body, reception in zip(bodies, receptions[:3]):
+            assert reception.acquired and not reception.via_postamble
+            assert np.array_equal(reception.symbols, body)
+        assert not receptions[3].acquired
+        assert receptions[3].symbols.size == 0
+
+    def test_receive_collision_pair_matches_manual(
+        self, engine, frontend, codebook, rng
+    ):
+        """The fused two-packet collision helper equals the manual
+        per-capture frontend path bit-for-bit."""
+        n_body, overlap = 40, 15
+        mod = MskModulator(sps=self.SPS)
+        streams = []
+        for _ in range(2):
+            body = rng.integers(0, 16, n_body)
+            streams.append(
+                np.concatenate(
+                    [
+                        sync_field_symbols("preamble"),
+                        body,
+                        sync_field_symbols("postamble"),
+                    ]
+                )
+            )
+        offset = (streams[0].size - overlap) * 32 * self.SPS
+        wave1 = mod.modulate_symbols(streams[0], codebook)
+        wave2 = mod.modulate_symbols(streams[1], codebook)
+        capture = np.zeros(offset + wave2.size, dtype=np.complex128)
+        capture[: wave1.size] += wave1
+        capture[offset:] += wave2
+        capture = add_awgn(capture, 0.05, rng)
+
+        pair = engine.receive_collision_pair(capture, n_body)
+        det1 = frontend.detect(capture, "preamble")[0]
+        det2 = max(
+            frontend.detect(capture, "postamble"),
+            key=lambda d: d.sample_offset,
+        )
+        assert pair.first.detection == det1
+        assert pair.second.detection == det2
+        sym1, hints1 = frontend.decode_symbols_at(
+            capture, det1.sample_offset, 10, n_body, det1.phase
+        )
+        sym2, hints2 = frontend.decode_symbols_at(
+            capture, det2.sample_offset, -n_body, n_body, det2.phase
+        )
+        assert np.array_equal(pair.first.symbols, sym1)
+        assert np.array_equal(pair.first.hints, hints1)
+        assert np.array_equal(pair.second.symbols, sym2)
+        assert np.array_equal(pair.second.hints, hints2)
+        assert pair.second.via_postamble
+
+    def test_receive_frames_rollback(self, engine, codebook, rng):
+        """A frame whose preamble is cut off the capture is recovered
+        through its postamble (the Fig. 5 rollback at engine level)."""
+        body, capture = _frame_capture(codebook, rng, 25, self.SPS)
+        # Drop the preamble (10 symbols) from the front of the capture.
+        cut = capture[6 * 32 * self.SPS :]
+        reception = engine.receive_frames([cut], 25)[0]
+        assert reception.acquired and reception.via_postamble
+        assert np.array_equal(reception.symbols, body)
 
 
 class TestSimulationBatchEquivalence:
