@@ -17,8 +17,8 @@ import numpy as np
 from repro.arq.chunking import chunk_cost_naive, plan_chunks
 from repro.arq.runlength import RunLengthPacket
 from repro.link.diversity import diversity_gain
-from repro.phy.chipchannel import chip_error_probability, transmit_chipwords
-from repro.phy.codebook import RandomCodebook, ZigbeeCodebook
+from repro.phy.chipchannel import transmit_chipwords
+from repro.phy.codebook import ZigbeeCodebook
 from repro.phy.decoder import HardDecisionDecoder, SoftDecisionDecoder
 from repro.phy.symbols import SoftPacket
 

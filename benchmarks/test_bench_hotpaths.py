@@ -22,6 +22,7 @@ from repro.phy.codebook import ZigbeeCodebook
 from repro.phy.decoder import SoftDecisionDecoder
 from repro.phy.modulation import MskModulator
 from repro.phy.sync import RollbackBuffer
+from repro.utils.crc import CRC32_IEEE
 
 
 def test_bench_decode_hard_throughput(benchmark):
@@ -152,3 +153,20 @@ def test_bench_msk_modulation(benchmark):
     modulator = MskModulator(sps=4)
     wave = benchmark(modulator.modulate_symbols, symbols, codebook)
     assert wave.size > 0
+
+
+def test_bench_checksum_many(benchmark):
+    """Batched CRC-32 of 64 segment rows (~50 B each) in one pass —
+    the per-fragment / per-segment pattern of FragmentedCrcScheme and
+    SpracScheme — spot-checked against per-row compute()."""
+    rng = np.random.default_rng(6)
+    rows = rng.integers(0, 256, (64, 50)).astype(np.uint8)
+    lengths = rng.integers(32, 51, 64)
+
+    crcs = benchmark(CRC32_IEEE.checksum_many, rows, lengths)
+    assert crcs.shape == (64,)
+    spot = rng.integers(0, 64, 8)
+    for i in spot:
+        assert int(crcs[i]) == CRC32_IEEE.compute(
+            rows[i, : lengths[i]].tobytes()
+        )

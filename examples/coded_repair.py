@@ -1,0 +1,82 @@
+"""Coded vs raw PP-ARQ retransmission on a very noisy link.
+
+Runs the same packet stream through the stock PP-ARQ session (bad
+runs retransmitted verbatim) and the network-coded variant (bad runs
+sent as random linear combinations with redundancy), over channels
+harsh enough that retransmissions themselves are frequently lost —
+the regime S-PRAC targets.  Also shows the segmented-RLNC codec on
+its own: erased CRC-protected segments recovered from coded repair.
+
+Run:  PYTHONPATH=src python examples/coded_repair.py
+"""
+
+import numpy as np
+
+from repro.arq.protocol import PpArqSession
+from repro.coding import CodedRepairSession, SegmentedRlncCodec
+from repro.experiments.exp_fig16 import BurstyLinkChannel
+from repro.phy.codebook import ZigbeeCodebook
+from repro.utils.rng import derive_rng
+
+PACKET_BYTES = 200
+N_PACKETS = 20
+
+
+def _channel(seed: int, label: str) -> BurstyLinkChannel:
+    """A harsh bursty link: most frames lose a large contiguous chunk."""
+    return BurstyLinkChannel(
+        ZigbeeCodebook(),
+        derive_rng(seed, label),
+        base_error=0.03,
+        burst_error=0.45,
+        burst_prob=0.95,
+        burst_frac_range=(0.2, 0.6),
+    )
+
+
+def main() -> None:
+    seed = 7
+    payload_rng = derive_rng(seed, "payloads")
+    payloads = [
+        bytes(payload_rng.integers(0, 256, PACKET_BYTES, dtype=np.uint8))
+        for _ in range(N_PACKETS)
+    ]
+
+    # --- 1. the codec alone: erasures repaired by elimination ------------
+    codec = SegmentedRlncCodec(n_segments=10, n_repair=5, field="gf256")
+    wire = bytearray(codec.encode(payloads[0]))
+    for idx in (1, 4, 8):  # corrupt three data segments
+        offset, _ = codec.data_spans(PACKET_BYTES)[idx]
+        wire[offset] ^= 0xFF
+    result = codec.decode(bytes(wire))
+    print(
+        f"codec: {int((~result.data_ok).sum())} segments erased, "
+        f"{int(result.coded_recovered.sum())} recovered by coding, "
+        f"payload intact: {result.payload() == payloads[0]}"
+    )
+
+    # --- 2. coded vs raw retransmission, same traffic, same regime -------
+    for name, session in (
+        ("raw PP-ARQ ", PpArqSession(_channel(seed, "raw"))),
+        (
+            "coded repair",
+            CodedRepairSession(
+                _channel(seed, "coded"), seed=seed, redundancy=0.5
+            ),
+        ),
+    ):
+        delivered = rounds = retransmit_bytes = 0
+        for seq, payload in enumerate(payloads):
+            log = session.transfer(seq, payload)
+            delivered += int(log.delivered)
+            rounds += log.rounds
+            retransmit_bytes += log.total_retransmit_bytes
+        print(
+            f"{name}: {delivered}/{N_PACKETS} delivered, "
+            f"{rounds / N_PACKETS:.1f} rounds/packet, "
+            f"{retransmit_bytes / N_PACKETS:.0f} retransmit B/packet"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,10 @@ from repro.arq import (
     RunLengthPacket,
     plan_chunks,
 )
+from repro.coding import (
+    CodedRepairSession,
+    SegmentedRlncCodec,
+)
 from repro.link import (
     AdaptiveThreshold,
     FragmentedCrcScheme,
@@ -40,6 +44,7 @@ from repro.link import (
     PprFrame,
     PprScheme,
     ReceivedPayload,
+    SpracScheme,
 )
 from repro.phy import (
     Codebook,
@@ -72,6 +77,8 @@ __all__ = [
     "PpArqSession",
     "RunLengthPacket",
     "plan_chunks",
+    "CodedRepairSession",
+    "SegmentedRlncCodec",
     "AdaptiveThreshold",
     "FragmentedCrcScheme",
     "FrameHeader",
@@ -79,6 +86,7 @@ __all__ = [
     "PprFrame",
     "PprScheme",
     "ReceivedPayload",
+    "SpracScheme",
     "Codebook",
     "HardDecisionDecoder",
     "MskDemodulator",

@@ -9,6 +9,22 @@ from __future__ import annotations
 
 import numpy as np
 
+# One marker per series, assigned in order.  The cycle is explicit
+# and finite: rendering more series than markers raises (silent reuse
+# made two curves indistinguishable), so extending this string *is*
+# the way to support more series.
+_MARKERS = "ox+*#@%&=~^:;"
+
+
+def _marker_for(index: int, n_series: int) -> str:
+    """The marker for series ``index`` of ``n_series`` (fail early)."""
+    if n_series > len(_MARKERS):
+        raise ValueError(
+            f"{n_series} series but only {len(_MARKERS)} distinct "
+            f"markers ({_MARKERS!r}); extend _MARKERS or split the plot"
+        )
+    return _MARKERS[index]
+
 
 def render_cdf(
     series: dict[str, np.ndarray],
@@ -20,35 +36,41 @@ def render_cdf(
     """Render one or more empirical CDFs as an ASCII plot.
 
     ``series`` maps a label to its raw samples.  Each curve gets a
-    distinct marker; the legend maps markers back to labels.
+    distinct marker; the legend maps markers back to labels.  More
+    series than distinct markers is an error.
     """
     if not series:
         raise ValueError("need at least one series")
-    markers = "ox+*#@%&"
     all_samples = np.concatenate(
         [np.asarray(s, dtype=np.float64) for s in series.values()]
     )
     if xmax is None:
         xmax = float(all_samples.max())
     xmax = max(xmax, 1e-12)
-    grid = [[" "] * width for _ in range(height)]
+    grid = np.full((height, width), " ", dtype="<U1")
     for idx, (label, samples) in enumerate(series.items()):
-        marker = markers[idx % len(markers)]
+        marker = _marker_for(idx, len(series))
         xs = np.sort(np.asarray(samples, dtype=np.float64))
         ys = np.arange(1, xs.size + 1) / xs.size
-        for x, y in zip(xs, ys):
-            col = min(width - 1, int(x / xmax * (width - 1)))
-            row = min(height - 1, int((1.0 - y) * (height - 1)))
-            grid[row][col] = marker
-    lines = ["1.0 |" + "".join(row) for row in grid[:1]]
-    for i, row in enumerate(grid[1:], start=1):
+        # Bucket every sample to its cell and rasterize the series in
+        # one fancy-indexed assignment (.astype truncates toward zero
+        # exactly like the old per-sample int()).
+        cols = np.minimum(
+            width - 1, (xs / xmax * (width - 1)).astype(np.int64)
+        )
+        rows = np.minimum(
+            height - 1, ((1.0 - ys) * (height - 1)).astype(np.int64)
+        )
+        grid[rows, cols] = marker
+    lines = ["1.0 |" + "".join(grid[0])]
+    for i in range(1, height):
         frac = 1.0 - i / (height - 1)
         prefix = f"{frac:3.1f} |" if i % 4 == 0 else "    |"
-        lines.append(prefix + "".join(row))
+        lines.append(prefix + "".join(grid[i]))
     lines.append("    +" + "-" * width)
     lines.append(f"    0{' ' * (width - 12)}{xmax:.3g}  ({xlabel})")
     for idx, label in enumerate(series):
-        lines.append(f"    {markers[idx % len(markers)]} = {label}")
+        lines.append(f"    {_marker_for(idx, len(series))} = {label}")
     return "\n".join(lines)
 
 
@@ -64,7 +86,6 @@ def render_series(
     if not ys_by_label:
         raise ValueError("need at least one series")
     xs = np.asarray(xs, dtype=np.float64)
-    markers = "ox+*#@%&"
     ymin, ymax = np.inf, -np.inf
     transformed = {}
     for label, ys in ys_by_label.items():
@@ -83,7 +104,7 @@ def render_series(
     xmax = max(float(xs.max()), 1e-12)
     grid = [[" "] * width for _ in range(height)]
     for idx, (label, ys) in enumerate(transformed.items()):
-        marker = markers[idx % len(markers)]
+        marker = _marker_for(idx, len(transformed))
         for x, y in zip(xs, ys):
             if not np.isfinite(y):
                 continue
@@ -99,7 +120,9 @@ def render_series(
     lines.append("         +" + "-" * width)
     lines.append(f"         0{' ' * (width - 12)}{xmax:.3g}  ({xlabel})")
     for idx, label in enumerate(ys_by_label):
-        lines.append(f"         {markers[idx % len(markers)]} = {label}")
+        lines.append(
+            f"         {_marker_for(idx, len(ys_by_label))} = {label}"
+        )
     return "\n".join(lines)
 
 
@@ -115,7 +138,6 @@ def render_scatter(
     """Render scatter points (e.g. Fig. 12's throughput comparison)."""
     if not points_by_label:
         raise ValueError("need at least one series")
-    markers = "ox+*#@%&"
 
     def _tx(v: np.ndarray) -> np.ndarray:
         v = np.maximum(np.asarray(v, dtype=np.float64), floor)
@@ -137,7 +159,7 @@ def render_scatter(
             row = int((ymax - x) / (ymax - ymin) * (height - 1))
             grid[row][col] = "."
     for idx, (label, (px, py)) in enumerate(points_by_label.items()):
-        marker = markers[idx % len(markers)]
+        marker = _marker_for(idx, len(points_by_label))
         for x, y in zip(_tx(px), _tx(py)):
             col = min(width - 1, int((x - xmin) / (xmax - xmin) * (width - 1)))
             row = min(
@@ -155,7 +177,9 @@ def render_scatter(
     )
     lines.append(f"         y-axis: {ylabel}; '.' marks y = x")
     for idx, label in enumerate(points_by_label):
-        lines.append(f"         {markers[idx % len(markers)]} = {label}")
+        lines.append(
+            f"         {_marker_for(idx, len(points_by_label))} = {label}"
+        )
     return "\n".join(lines)
 
 

@@ -37,7 +37,6 @@ from repro.arq.feedback import (
     FeedbackPacket,
     RetransmissionPacket,
     SegmentData,
-    encode_feedback,
     encode_retransmission,
     feedback_bit_cost,
     gaps_for_segments,

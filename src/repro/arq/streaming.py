@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.arq.feedback import (
-    encode_feedback,
     encode_retransmission,
     feedback_bit_cost,
 )

@@ -1,0 +1,65 @@
+"""Network-coded partial packet recovery (S-PRAC-style, PAPERS.md).
+
+The paper's PP-ARQ retransmits the raw symbols of every bad run.  The
+S-PRAC line of work shows that in very noisy channels it is far more
+efficient to (a) segment the packet and CRC-protect each segment, and
+(b) repair losses with *random linear network coding*: any sufficient
+subset of coded repair blocks recovers all erased segments, so no
+individual repair transmission is precious.
+
+This package provides the three layers of that idea:
+
+* :mod:`repro.coding.gf2` / :mod:`repro.coding.gf256` — vectorized
+  finite-field linear algebra (XOR combining on bit-packed uint64
+  words; a log/exp-table GF(256) variant for denser coefficients),
+  each kernel with its loop ``*_reference`` retained as an executable
+  specification.
+* :mod:`repro.coding.rlnc` — the segmented-RLNC codec: payload ->
+  CRC-protected segments plus coded repair segments.
+* :mod:`repro.coding.session` — :class:`CodedRepairSession`, a PP-ARQ
+  variant whose retransmissions are coded combinations of the bad
+  runs instead of the runs themselves.
+"""
+
+from repro.coding.gf2 import (
+    gf2_coefficients,
+    gf2_eliminate,
+    gf2_encode,
+    pack_bytes_to_words,
+    unpack_words_to_bytes,
+)
+from repro.coding.gf256 import (
+    gf256_coefficients,
+    gf256_eliminate,
+    gf256_encode,
+    gf256_mul,
+)
+from repro.coding.rlnc import RlncDecodeResult, SegmentedRlncCodec
+from repro.coding.session import (
+    CodedRepairPacket,
+    CodedRepairReceiver,
+    CodedRepairSender,
+    CodedRepairSession,
+    decode_coded_repair,
+    encode_coded_repair,
+)
+
+__all__ = [
+    "CodedRepairPacket",
+    "CodedRepairReceiver",
+    "CodedRepairSender",
+    "CodedRepairSession",
+    "RlncDecodeResult",
+    "SegmentedRlncCodec",
+    "decode_coded_repair",
+    "encode_coded_repair",
+    "gf2_coefficients",
+    "gf2_eliminate",
+    "gf2_encode",
+    "gf256_coefficients",
+    "gf256_eliminate",
+    "gf256_encode",
+    "gf256_mul",
+    "pack_bytes_to_words",
+    "unpack_words_to_bytes",
+]

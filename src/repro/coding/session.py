@@ -1,0 +1,488 @@
+"""PP-ARQ with network-coded retransmissions.
+
+The stock PP-ARQ sender answers feedback by retransmitting the raw
+symbols of every requested bad run (:mod:`repro.arq.protocol`).  Over
+a very noisy channel that is fragile: each retransmitted segment must
+itself survive, and a segment lost again must be re-requested *by
+name* next round.
+
+The coded variant keeps the whole feedback machinery — run-length
+labelling, the Eq. 4/5 chunking DP, gap checksums, miss widening —
+and changes only what the sender puts on the air: the requested bad
+runs become equal-width blocks (nibble-packed symbol rows), and the
+retransmission carries ``n_blocks + extra`` random GF(2) linear
+combinations of them.  Any ``n_blocks`` of the combinations that
+survive (each carries its own CRC-8) recover *all* blocks by Gaussian
+elimination, so the ``extra`` redundancy absorbs *any* pattern of
+combination losses — no loss has to be repaired by name.
+
+The structured fields of the coded packet (offsets, coefficients,
+checksums) are assumed intact while the coded symbol rows cross the
+lossy channel, exactly the modelling note of
+:mod:`repro.arq.protocol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arq.feedback import (
+    CHECKSUM_BITS,
+    COUNT_BITS,
+    LENGTH_BITS,
+    OFFSET_BITS,
+    SEQ_BITS,
+    FeedbackPacket,
+    feedback_bit_cost,
+    gaps_for_segments,
+    segment_checksum,
+)
+from repro.arq.protocol import (
+    ChannelFn,
+    PpArqReceiver,
+    PpArqSender,
+    TransferLog,
+)
+from repro.coding.gf2 import (
+    gf2_coefficients,
+    gf2_eliminate,
+    gf2_encode,
+    pack_bytes_to_words,
+    unpack_words_to_bytes,
+)
+from repro.phy.spreading import bytes_to_symbols
+from repro.phy.symbols import SoftPacket
+from repro.utils.bitops import BitReader, BitWriter
+from repro.utils.crc import CRC32_IEEE
+
+_MAX_CODED = 255  # coded-row count must fit the 8-bit field
+
+
+def _pack_symbol_rows(
+    spans: tuple[tuple[int, int], ...], symbols: np.ndarray
+) -> np.ndarray:
+    """Nibble-pack each span of 4-bit symbols into one padded byte row.
+
+    Low nibble first (pad nibble = 0), matching
+    :func:`repro.arq.feedback.segment_checksum`'s packing; rows are
+    zero-padded to the widest span so they can be XOR-combined.
+    """
+    widths = [-(-(end - start) // 2) for start, end in spans]
+    rows = np.zeros((len(spans), max(widths)), dtype=np.uint8)
+    for i, (start, end) in enumerate(spans):
+        seg = np.asarray(symbols[start:end], dtype=np.int64)
+        if seg.size % 2:
+            seg = np.concatenate([seg, [0]])
+        pairs = seg.reshape(-1, 2)
+        rows[i, : widths[i]] = (pairs[:, 0] | (pairs[:, 1] << 4)).astype(
+            np.uint8
+        )
+    return rows
+
+
+def _unpack_row_symbols(row: np.ndarray, n_symbols: int) -> np.ndarray:
+    """Inverse of :func:`_pack_symbol_rows` for one byte row."""
+    row = np.asarray(row, dtype=np.uint8)
+    nibbles = np.empty(2 * row.size, dtype=np.int64)
+    nibbles[0::2] = row & 0xF
+    nibbles[1::2] = row >> 4
+    return nibbles[:n_symbols]
+
+
+def _bytes_to_row_symbols(rows: np.ndarray) -> np.ndarray:
+    """All byte rows as one ``(n, 2*width)`` 4-bit symbol matrix."""
+    rows = np.asarray(rows, dtype=np.uint8)
+    out = np.empty((rows.shape[0], 2 * rows.shape[1]), dtype=np.int64)
+    out[:, 0::2] = rows & 0xF
+    out[:, 1::2] = rows >> 4
+    return out
+
+
+@dataclass(frozen=True)
+class CodedRepairPacket:
+    """Sender -> receiver: coded combinations of the requested runs.
+
+    ``spans`` are the requested symbol ranges (the unknown blocks, in
+    order); ``coefficients[c]`` selects which blocks coded row ``c``
+    XORs together; ``rows`` carries each coded row as 4-bit symbols
+    (two per packed byte); ``row_checksums[c]`` is the CRC-8 that
+    lets the receiver keep only intact equations.
+    """
+
+    seq: int
+    n_symbols: int
+    spans: tuple[tuple[int, int], ...]
+    coefficients: np.ndarray
+    rows: np.ndarray
+    row_checksums: tuple[int, ...]
+    gap_checksums: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "coefficients",
+            np.asarray(self.coefficients, dtype=np.uint8),
+        )
+        object.__setattr__(
+            self, "rows", np.asarray(self.rows, dtype=np.int64)
+        )
+        n_coded = self.coefficients.shape[0]
+        if self.rows.shape[0] != n_coded:
+            raise ValueError(
+                f"{n_coded} coefficient rows but {self.rows.shape[0]} "
+                "coded rows"
+            )
+        if len(self.row_checksums) != n_coded:
+            raise ValueError(
+                f"{n_coded} coded rows but {len(self.row_checksums)} "
+                "row checksums"
+            )
+        if self.coefficients.shape[1] != len(self.spans):
+            raise ValueError(
+                f"coefficients select {self.coefficients.shape[1]} "
+                f"blocks but {len(self.spans)} spans requested"
+            )
+
+    @property
+    def n_coded(self) -> int:
+        """Number of coded combinations carried."""
+        return int(self.coefficients.shape[0])
+
+    @property
+    def n_data_symbols(self) -> int:
+        """Total coded symbols on the air."""
+        return int(self.rows.size)
+
+
+def encode_coded_repair(packet: CodedRepairPacket) -> bytes:
+    """Serialise a coded repair packet to its on-air bytes.
+
+    Layout: seq, n_symbols, span count, per-span offset + length,
+    coded-row count, row width (bytes), then per coded row its
+    coefficient bits + CRC-8 + nibble symbols, then gap checksums.
+    The coefficient bits ride in the packet (RLNC's per-combination
+    overhead is real and must be charged to the comparison).
+    """
+    writer = BitWriter()
+    writer.write_uint(packet.seq, SEQ_BITS)
+    writer.write_uint(packet.n_symbols, OFFSET_BITS)
+    writer.write_uint(len(packet.spans), COUNT_BITS)
+    for start, end in packet.spans:
+        writer.write_uint(start, OFFSET_BITS)
+        writer.write_uint(end - start, LENGTH_BITS)
+    writer.write_uint(packet.n_coded, COUNT_BITS)
+    writer.write_uint(packet.rows.shape[1] // 2, LENGTH_BITS)
+    for c in range(packet.n_coded):
+        writer.write_bits(packet.coefficients[c])
+        writer.write_uint(packet.row_checksums[c], CHECKSUM_BITS)
+        for sym in packet.rows[c]:
+            writer.write_uint(int(sym), 4)
+    for checksum in packet.gap_checksums:
+        writer.write_uint(checksum, CHECKSUM_BITS)
+    return writer.getvalue()
+
+
+def decode_coded_repair(data: bytes) -> CodedRepairPacket:
+    """Parse bytes produced by :func:`encode_coded_repair`."""
+    reader = BitReader(data)
+    seq = reader.read_uint(SEQ_BITS)
+    n_symbols = reader.read_uint(OFFSET_BITS)
+    n_spans = reader.read_uint(COUNT_BITS)
+    spans = []
+    for _ in range(n_spans):
+        start = reader.read_uint(OFFSET_BITS)
+        length = reader.read_uint(LENGTH_BITS)
+        spans.append((start, start + length))
+    n_coded = reader.read_uint(COUNT_BITS)
+    row_bytes = reader.read_uint(LENGTH_BITS)
+    coefficients = np.zeros((n_coded, n_spans), dtype=np.uint8)
+    rows = np.zeros((n_coded, 2 * row_bytes), dtype=np.int64)
+    checksums = []
+    for c in range(n_coded):
+        coefficients[c] = reader.read_bits(n_spans)
+        checksums.append(reader.read_uint(CHECKSUM_BITS))
+        for s in range(2 * row_bytes):
+            rows[c, s] = reader.read_uint(4)
+    n_gaps = len(gaps_for_segments(tuple(spans), n_symbols))
+    gap_checksums = tuple(
+        reader.read_uint(CHECKSUM_BITS) for _ in range(n_gaps)
+    )
+    return CodedRepairPacket(
+        seq=seq,
+        n_symbols=n_symbols,
+        spans=tuple(spans),
+        coefficients=coefficients,
+        rows=rows,
+        row_checksums=tuple(checksums),
+        gap_checksums=gap_checksums,
+    )
+
+
+class CodedRepairSender(PpArqSender):
+    """PP-ARQ sender whose retransmissions are coded combinations.
+
+    ``redundancy`` sets how many extra combinations ride along:
+    ``n_coded = n_blocks + max(1, ceil(redundancy * n_blocks))``.
+    Coefficients are keyed on ``(seed, seq, round)`` so every round
+    fresh combinations go out (a repeated round must not resend the
+    same linear span), and they ride in the packet explicitly.
+    """
+
+    def __init__(self, seed: int = 0, redundancy: float = 0.25) -> None:
+        super().__init__()
+        if redundancy < 0:
+            raise ValueError(
+                f"redundancy must be non-negative, got {redundancy}"
+            )
+        self.seed = int(seed)
+        self.redundancy = float(redundancy)
+        self._rounds: dict[int, int] = {}
+
+    def handle_feedback_coded(
+        self, feedback: FeedbackPacket
+    ) -> CodedRepairPacket | None:
+        """Build the coded repair a feedback packet asks for.
+
+        Reuses the base class for the request geometry (segment
+        merging, gap-checksum verification, miss widening) and codes
+        the resulting blocks instead of sending them raw.  Returns
+        ``None`` for a pure ACK.
+        """
+        raw = self.handle_feedback(feedback)
+        if raw is None:
+            return None
+        truth = self._packets[feedback.seq]
+        spans = self._fit_spans(raw.segment_spans())
+        n_blocks = len(spans)
+        extra = max(1, int(np.ceil(self.redundancy * n_blocks)))
+        # An extreme redundancy setting can still overflow the 8-bit
+        # row count with a single block; cap the extras, never the
+        # blocks (at least one extra survives by construction).
+        n_coded = n_blocks + min(extra, _MAX_CODED - n_blocks)
+        if spans == raw.segment_spans():
+            gap_checksums = raw.gap_checksums
+        else:
+            # Merging spans absorbed some gaps; re-checksum the rest.
+            gap_checksums = tuple(
+                segment_checksum(truth[start:end])
+                for start, end in gaps_for_segments(spans, truth.size)
+            )
+        round_index = self._rounds.get(feedback.seq, 0)
+        self._rounds[feedback.seq] = round_index + 1
+        coeffs = gf2_coefficients(
+            self.seed,
+            "coded-repair",
+            feedback.seq,
+            round_index,
+            shape=(n_coded, n_blocks),
+        )
+        blocks = _pack_symbol_rows(spans, truth)
+        coded = unpack_words_to_bytes(
+            gf2_encode(coeffs, pack_bytes_to_words(blocks)),
+            blocks.shape[1],
+        )
+        rows = _bytes_to_row_symbols(coded)
+        row_checksums = tuple(
+            segment_checksum(rows[c]) for c in range(n_coded)
+        )
+        return CodedRepairPacket(
+            seq=feedback.seq,
+            n_symbols=truth.size,
+            spans=spans,
+            coefficients=coeffs,
+            rows=rows,
+            row_checksums=row_checksums,
+            gap_checksums=gap_checksums,
+        )
+
+    def _fit_spans(
+        self, spans: tuple[tuple[int, int], ...]
+    ) -> tuple[tuple[int, int], ...]:
+        """Merge nearest spans until blocks + redundancy fit the
+        8-bit coded-row count.
+
+        Without this, a feedback round naming ~255 bad runs would
+        silently clamp away the extra equations the class guarantees
+        (a square random GF(2) system is singular ~29% of the time,
+        so rounds would burn airtime recovering nothing).  Merging
+        the closest-together spans trades a few good symbols inside
+        the coded blocks for keeping every block covered *and* the
+        redundancy intact.
+        """
+        merged = list(spans)
+
+        def budget(n: int) -> int:
+            return n + max(1, int(np.ceil(self.redundancy * n)))
+
+        while len(merged) > 1 and budget(len(merged)) > _MAX_CODED:
+            gaps = [
+                (merged[i + 1][0] - merged[i][1], i)
+                for i in range(len(merged) - 1)
+            ]
+            _, i = min(gaps)
+            merged[i] = (merged[i][0], merged[i + 1][1])
+            del merged[i + 1]
+        return tuple(merged)
+
+
+class CodedRepairReceiver(PpArqReceiver):
+    """PP-ARQ receiver that repairs bad runs from coded combinations."""
+
+    def receive_coded_repair(
+        self,
+        packet: CodedRepairPacket,
+        channel_view: SoftPacket | None = None,
+    ) -> None:
+        """Solve the coded equations and patch recovered blocks.
+
+        ``channel_view`` carries the coded rows as actually received
+        (all rows concatenated, in order); without it the packet is
+        treated as clean.  Rows whose CRC-8 fails are dropped; the
+        remaining rows form the equation system.  Blocks the
+        elimination recovers are patched in verified; unrecovered
+        blocks get their hints forced bad so the next feedback round
+        re-requests them.
+        """
+        state = self._require(packet.seq)
+        if packet.n_symbols != state.symbols.size:
+            raise ValueError(
+                "coded repair disagrees on packet length"
+            )
+        n_coded = packet.n_coded
+        row_width = packet.rows.shape[1]
+        if channel_view is None:
+            rx_rows = packet.rows
+        else:
+            rx_rows = np.asarray(
+                channel_view.symbols, dtype=np.int64
+            ).reshape(n_coded, row_width)
+        valid = np.array(
+            [
+                segment_checksum(rx_rows[c]) == packet.row_checksums[c]
+                for c in range(n_coded)
+            ],
+            dtype=bool,
+        )
+        n_blocks = len(packet.spans)
+        recovered = np.zeros(n_blocks, dtype=bool)
+        solved = np.zeros((n_blocks, row_width // 2), dtype=np.uint8)
+        if valid.any():
+            rhs = np.zeros((n_coded, row_width // 2), dtype=np.uint8)
+            rx = rx_rows.astype(np.uint8)
+            rhs[:, :] = (rx[:, 0::2] & 0xF) | (rx[:, 1::2] << 4)
+            rec, sol = gf2_eliminate(
+                packet.coefficients[valid],
+                pack_bytes_to_words(rhs[valid]),
+            )
+            recovered = rec
+            solved = unpack_words_to_bytes(sol, row_width // 2)
+        for i, (start, end) in enumerate(packet.spans):
+            span = slice(start, end)
+            if recovered[i]:
+                state.symbols[span] = _unpack_row_symbols(
+                    solved[i], end - start
+                )
+                state.hints[span] = 0.0
+                state.verified[span] = True
+            else:
+                unverified = ~state.verified[span]
+                hints = state.hints[span]
+                hints[unverified] = np.maximum(
+                    hints[unverified], self.eta + 1.0
+                )
+        # Confirm gaps against the sender's checksums, as in the raw
+        # retransmission path.
+        gaps = gaps_for_segments(packet.spans, packet.n_symbols)
+        for (start, end), sender_crc in zip(gaps, packet.gap_checksums):
+            mine = segment_checksum(state.symbols[start:end])
+            if mine == sender_crc:
+                state.verified[start:end] = True
+                state.hints[start:end] = np.minimum(
+                    state.hints[start:end], 0.0
+                )
+            else:
+                state.hints[start:end] = np.maximum(
+                    state.hints[start:end], self.eta + 1.0
+                )
+                state.verified[start:end] = False
+
+
+class CodedRepairSession:
+    """Drives coded-repair PP-ARQ across rounds over a lossy channel.
+
+    Drop-in counterpart of :class:`repro.arq.protocol.PpArqSession`
+    (same :class:`TransferLog` accounting) with coded retransmissions:
+    compare the two on one channel to measure what coding buys.
+    """
+
+    def __init__(
+        self,
+        data_channel: ChannelFn,
+        retransmit_channel: ChannelFn | None = None,
+        eta: float = 6.0,
+        max_rounds: int = 50,
+        seed: int = 0,
+        redundancy: float = 0.25,
+    ) -> None:
+        if max_rounds < 1:
+            raise ValueError(
+                f"max_rounds must be >= 1, got {max_rounds}"
+            )
+        self._data_channel = data_channel
+        self._retransmit_channel = retransmit_channel or data_channel
+        self._sender = CodedRepairSender(
+            seed=seed, redundancy=redundancy
+        )
+        self._receiver = CodedRepairReceiver(eta=eta)
+        self._max_rounds = int(max_rounds)
+
+    @property
+    def receiver(self) -> CodedRepairReceiver:
+        """The session's receiver (for inspection in tests)."""
+        return self._receiver
+
+    def transfer(self, seq: int, payload: bytes) -> TransferLog:
+        """Send one packet to completion (or round exhaustion)."""
+        wire = payload + CRC32_IEEE.compute_bytes(payload)
+        wire_symbols = bytes_to_symbols(wire)
+        self._sender.register_packet(seq, wire_symbols)
+        log = TransferLog(seq=seq)
+
+        soft = self._data_channel(wire_symbols)
+        log.data_symbols_sent += wire_symbols.size
+        self._receiver.receive_data(seq, soft)
+
+        for _ in range(self._max_rounds):
+            log.rounds += 1
+            if self._receiver.is_complete(seq):
+                feedback = FeedbackPacket(
+                    seq=seq,
+                    n_symbols=wire_symbols.size,
+                    segments=(),
+                    gap_checksums=(
+                        segment_checksum(
+                            self._receiver.decoded_symbols(seq)
+                        ),
+                    ),
+                )
+                log.feedback_bits.append(feedback_bit_cost(feedback))
+                self._sender.handle_feedback(feedback)
+                log.delivered = True
+                return log
+            feedback = self._receiver.build_feedback(seq)
+            log.feedback_bits.append(feedback_bit_cost(feedback))
+            packet = self._sender.handle_feedback_coded(feedback)
+            if packet is None:
+                log.delivered = True
+                return log
+            encoded = encode_coded_repair(packet)
+            log.retransmit_packet_bytes.append(len(encoded))
+            log.data_symbols_sent += packet.n_data_symbols
+            channel_view = self._retransmit_channel(
+                packet.rows.reshape(-1)
+            )
+            self._receiver.receive_coded_repair(packet, channel_view)
+        log.delivered = self._receiver.is_complete(seq)
+        return log

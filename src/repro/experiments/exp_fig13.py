@@ -132,7 +132,6 @@ def run(
     dirty1 = packet1.hints[n_body_symbols - overlap_symbols :]
     # Packet 2's head: overlap minus its sync field (which also collided).
     dirty2_len = max(overlap_symbols - preamble.size, 1)
-    dirty2 = packet2.hints[:dirty2_len]
     clean2 = packet2.hints[dirty2_len:]
     checks = [
         ShapeCheck(

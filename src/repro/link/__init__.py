@@ -4,7 +4,9 @@ The frame layout mirrors paper Fig. 2 (header + payload + packet CRC +
 trailer, bracketed by preamble and postamble).  Delivery schemes
 implement the three contenders of §7.2 — whole-packet CRC, fragmented
 CRC, and PPR with SoftPHY hints — behind one interface so the
-experiment harness treats them uniformly.
+experiment harness treats them uniformly.  Beyond the paper,
+:class:`SpracScheme` adds segmented-RLNC coded repair (S-PRAC) on top
+of the fragmented-CRC wire format.
 """
 
 from repro.link.frame import (
@@ -25,6 +27,7 @@ from repro.link.schemes import (
     PacketCrcScheme,
     PprScheme,
     ReceivedPayload,
+    SpracScheme,
 )
 from repro.link.fragmentation import (
     AdaptiveFragmentSizer,
@@ -62,6 +65,7 @@ __all__ = [
     "PacketCrcScheme",
     "PprScheme",
     "ReceivedPayload",
+    "SpracScheme",
     "AdaptiveFragmentSizer",
     "fragment_payload",
     "optimal_fragment_size",

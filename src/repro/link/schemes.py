@@ -19,6 +19,11 @@ The three schemes mirror the paper:
   every codeword whose hint is at most η (§7.2: "PPR delivers exactly
   those bits in the packet whose codewords had a Hamming distance less
   than η. Here we choose η = 6.").
+
+Beyond the paper, :class:`SpracScheme` adds the S-PRAC contender
+(PAPERS.md): fragmented CRCs plus random-linear-network-coded repair
+segments, the very-noisy-channel scheme the coded-recovery experiment
+pits against the paper's three.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.coding.rlnc import SegmentedRlncCodec
 from repro.link.fragmentation import fragment_payload
 from repro.phy.spreading import symbols_to_bytes
 from repro.utils.crc import CRC32_IEEE
@@ -35,6 +41,16 @@ from repro.utils.crc import CRC32_IEEE
 _BITS_PER_SYMBOL = 4
 _SYMBOLS_PER_BYTE = 2
 _CRC_BYTES = 4
+
+
+def _crc32_rows(chunks: list[bytes]) -> np.ndarray:
+    """CRC-32 of each byte chunk, via one batched ``checksum_many``."""
+    lengths = np.array([len(c) for c in chunks], dtype=np.int64)
+    width = int(lengths.max()) if lengths.size else 0
+    rows = np.zeros((len(chunks), width), dtype=np.uint8)
+    for i, chunk in enumerate(chunks):
+        rows[i, : len(chunk)] = np.frombuffer(chunk, dtype=np.uint8)
+    return CRC32_IEEE.checksum_many(rows, lengths)
 
 
 @dataclass
@@ -190,10 +206,14 @@ class FragmentedCrcScheme(DeliveryScheme):
         return f"FragmentedCrcScheme(n_fragments={self.n_fragments})"
 
     def encode_payload(self, payload: bytes) -> bytes:
+        fragments = fragment_payload(payload, self.n_fragments)
+        # One batched CRC pass over all fragments instead of one
+        # Python call (and byte loop) per fragment.
+        crcs = _crc32_rows(fragments)
         pieces = []
-        for frag in fragment_payload(payload, self.n_fragments):
+        for frag, crc in zip(fragments, crcs):
             pieces.append(frag)
-            pieces.append(CRC32_IEEE.compute_bytes(frag))
+            pieces.append(int(crc).to_bytes(_CRC_BYTES, "big"))
         return b"".join(pieces)
 
     def wire_overhead_bytes(self, payload_len: int) -> int:
@@ -210,11 +230,18 @@ class FragmentedCrcScheme(DeliveryScheme):
         delivered_correct = 0
         delivered_incorrect = 0
         passed_all = True
-        offset = 0
-        for size in sizes:
-            frag = wire[offset : offset + size]
-            crc_field = wire[offset + size : offset + size + _CRC_BYTES]
-            ok = CRC32_IEEE.compute_bytes(frag) == crc_field
+        offsets = np.cumsum([0] + [s + _CRC_BYTES for s in sizes[:-1]])
+        computed = _crc32_rows(
+            [wire[o : o + s] for o, s in zip(offsets, sizes)]
+        )
+        declared = [
+            int.from_bytes(wire[o + s : o + s + _CRC_BYTES], "big")
+            for o, s in zip(offsets, sizes)
+        ]
+        for offset, size, crc, want in zip(
+            offsets, sizes, computed, declared
+        ):
+            ok = int(crc) == want
             if ok:
                 sym_lo = _SYMBOLS_PER_BYTE * offset
                 sym_hi = _SYMBOLS_PER_BYTE * (offset + size)
@@ -225,7 +252,6 @@ class FragmentedCrcScheme(DeliveryScheme):
                 ) * _BITS_PER_SYMBOL
             else:
                 passed_all = False
-            offset += size + _CRC_BYTES
         return DeliveryResult(
             scheme=self.name,
             payload_bits=payload_bits,
@@ -305,6 +331,101 @@ class PprScheme(DeliveryScheme):
             delivered_incorrect_bits=delivered_incorrect,
             overhead_bits=8 * _CRC_BYTES,
             frame_passed=passed,
+        )
+
+
+class SpracScheme(DeliveryScheme):
+    """Segmented RLNC delivery (S-PRAC, PAPERS.md) — beyond the paper.
+
+    The wire format is the fragmented-CRC baseline *plus* coded
+    repair: ``n_segments`` CRC-32-protected data segments followed by
+    ``n_repair`` CRC-32-protected random linear combinations of them
+    (:class:`repro.coding.rlnc.SegmentedRlncCodec`).  Delivery keeps
+    every segment whose CRC verifies and reconstructs erased segments
+    from the surviving repair equations by Gaussian elimination — in
+    very noisy channels the repair overhead buys back far more than
+    the fragments alone deliver.
+    """
+
+    name = "sprac"
+
+    def __init__(
+        self,
+        n_segments: int = 30,
+        n_repair: int | None = None,
+        field: str = "gf2",
+        seed: int = 0,
+    ) -> None:
+        if n_repair is None:
+            n_repair = max(1, -(-n_segments // 4))
+        self.codec = SegmentedRlncCodec(
+            n_segments=n_segments,
+            n_repair=n_repair,
+            field=field,
+            seed=seed,
+        )
+
+    @property
+    def n_segments(self) -> int:
+        """Data segment count k."""
+        return self.codec.n_segments
+
+    @property
+    def n_repair(self) -> int:
+        """Coded repair segment count r."""
+        return self.codec.n_repair
+
+    def __repr__(self) -> str:
+        return (
+            f"SpracScheme(n_segments={self.n_segments}, "
+            f"n_repair={self.n_repair}, field={self.codec.field!r})"
+        )
+
+    def encode_payload(self, payload: bytes) -> bytes:
+        return self.codec.encode(payload)
+
+    def wire_overhead_bytes(self, payload_len: int) -> int:
+        return self.codec.wire_length(payload_len) - payload_len
+
+    def deliver(self, rx: ReceivedPayload) -> DeliveryResult:
+        wire = rx.decoded_bytes()
+        payload_len = self.codec.payload_length(len(wire))
+        result = self.codec.decode(wire)
+        truth = symbols_to_bytes(rx.truth)
+        correct_sym = rx.correct_mask()
+        payload_bits = 8 * payload_len
+        delivered_correct = 0
+        delivered_incorrect = 0
+        for i, (offset, size) in enumerate(
+            self.codec.data_spans(payload_len)
+        ):
+            seg_bits = 8 * size
+            if result.data_ok[i]:
+                # Delivered on its own CRC: account against truth so
+                # a CRC collision shows up, as the other schemes do.
+                sym_lo = _SYMBOLS_PER_BYTE * offset
+                sym_hi = _SYMBOLS_PER_BYTE * (offset + size)
+                good = int(correct_sym[sym_lo:sym_hi].sum())
+                delivered_correct += good * _BITS_PER_SYMBOL
+                delivered_incorrect += (
+                    (sym_hi - sym_lo) - good
+                ) * _BITS_PER_SYMBOL
+            elif result.coded_recovered[i]:
+                exact = (
+                    result.segments[i]
+                    == truth[offset : offset + size]
+                )
+                if exact:
+                    delivered_correct += seg_bits
+                else:
+                    delivered_incorrect += seg_bits
+        return DeliveryResult(
+            scheme=self.name,
+            payload_bits=payload_bits,
+            delivered_correct_bits=delivered_correct,
+            delivered_incorrect_bits=delivered_incorrect,
+            overhead_bits=8 * self.wire_overhead_bytes(payload_len),
+            frame_passed=result.complete,
         )
 
 

@@ -1,0 +1,443 @@
+"""Tests for the network-coded partial recovery subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.arq.feedback import segment_checksum
+from repro.coding.gf2 import (
+    gf2_coefficients,
+    gf2_eliminate,
+    gf2_encode,
+    pack_bytes_to_words,
+    unpack_words_to_bytes,
+)
+from repro.coding.gf256 import (
+    gf256_coefficients,
+    gf256_eliminate,
+    gf256_encode,
+    gf256_inv,
+    gf256_mul,
+)
+from repro.coding.rlnc import SegmentedRlncCodec
+from repro.coding.session import (
+    CodedRepairReceiver,
+    CodedRepairSender,
+    CodedRepairSession,
+    decode_coded_repair,
+    encode_coded_repair,
+)
+from repro.phy.spreading import bytes_to_symbols
+from repro.phy.symbols import SoftPacket
+from repro.utils.crc import CRC32_IEEE
+
+
+class TestPacking:
+    def test_roundtrip_various_widths(self, rng):
+        for n_bytes in (1, 7, 8, 9, 16, 33):
+            rows = rng.integers(0, 256, (4, n_bytes)).astype(np.uint8)
+            words = pack_bytes_to_words(rows)
+            assert words.shape == (4, -(-n_bytes // 8))
+            assert np.array_equal(
+                unpack_words_to_bytes(words, n_bytes), rows
+            )
+
+    def test_byte_zero_lands_in_msb(self):
+        words = pack_bytes_to_words(
+            np.array([[0x80] + [0] * 7], dtype=np.uint8)
+        )
+        assert words[0, 0] == np.uint64(0x8000000000000000)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pack_bytes_to_words(np.zeros(8, dtype=np.uint8))
+
+
+class TestGf2Kernels:
+    def test_encode_xor_semantics(self, rng):
+        rows = rng.integers(0, 256, (3, 10)).astype(np.uint8)
+        packed = pack_bytes_to_words(rows)
+        coeffs = np.array([[1, 0, 1]], dtype=np.uint8)
+        coded = unpack_words_to_bytes(gf2_encode(coeffs, packed), 10)
+        assert np.array_equal(coded[0], rows[0] ^ rows[2])
+
+    def test_eliminate_recovers_erasures(self, rng):
+        k, n_bytes = 6, 20
+        src = rng.integers(0, 256, (k, n_bytes)).astype(np.uint8)
+        packed = pack_bytes_to_words(src)
+        # Lose two source rows; supply three coded rows covering them.
+        coeffs = np.concatenate(
+            [
+                np.eye(k, dtype=np.uint8)[2:],
+                gf2_coefficients(1, "test", shape=(3, k)),
+            ]
+        )
+        payload = np.concatenate(
+            [packed[2:], gf2_encode(coeffs[k - 2 :], packed)]
+        )
+        recovered, solved = gf2_eliminate(coeffs, payload)
+        assert recovered.all()
+        assert np.array_equal(
+            unpack_words_to_bytes(solved, n_bytes), src
+        )
+
+    def test_eliminate_partial_rank(self):
+        # One equation over two unknowns: neither is determined,
+        # but a unit equation pins its coordinate.
+        coeffs = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        payload = pack_bytes_to_words(
+            np.array([[3], [5]], dtype=np.uint8)
+        )
+        recovered, solved = gf2_eliminate(coeffs, payload)
+        assert recovered.tolist() == [True, True]
+        assert unpack_words_to_bytes(solved, 1)[0, 0] == 3 ^ 5
+        recovered2, _ = gf2_eliminate(coeffs[:1], payload[:1])
+        assert recovered2.tolist() == [False, False]
+
+    def test_eliminate_empty_system(self):
+        recovered, solved = gf2_eliminate(
+            np.zeros((0, 4), dtype=np.uint8),
+            np.zeros((0, 1), dtype=np.uint64),
+        )
+        assert not recovered.any()
+        assert solved.shape == (4, 1)
+
+    def test_coefficients_deterministic_and_nonzero(self):
+        a = gf2_coefficients(7, "x", 1, 2, shape=(40, 3))
+        b = gf2_coefficients(7, "x", 1, 2, shape=(40, 3))
+        assert np.array_equal(a, b)
+        assert a.any(axis=1).all()  # no all-zero (useless) rows
+        c = gf2_coefficients(7, "x", 1, 3, shape=(40, 3))
+        assert not np.array_equal(a, c)
+
+
+class TestGf256Field:
+    def test_mul_identities(self, rng):
+        a = rng.integers(0, 256, 100).astype(np.uint8)
+        assert np.array_equal(gf256_mul(a, np.uint8(1)), a)
+        assert not gf256_mul(a, np.uint8(0)).any()
+
+    def test_mul_matches_carryless_reference(self, rng):
+        def slow_mul(x, y):
+            out = 0
+            while y:
+                if y & 1:
+                    out ^= x
+                x <<= 1
+                if x & 0x100:
+                    x ^= 0x11D
+                y >>= 1
+            return out
+
+        xs = rng.integers(0, 256, 60)
+        ys = rng.integers(0, 256, 60)
+        want = [slow_mul(int(x), int(y)) for x, y in zip(xs, ys)]
+        got = gf256_mul(
+            xs.astype(np.uint8), ys.astype(np.uint8)
+        ).tolist()
+        assert got == want
+
+    def test_inverses(self):
+        for a in range(1, 256):
+            assert gf256_mul(np.uint8(a), np.uint8(gf256_inv(a))) == 1
+        with pytest.raises(ZeroDivisionError):
+            gf256_inv(0)
+
+    def test_eliminate_recovers_full_erasure(self, rng):
+        # GF(256) random matrices are near-MDS: k coded rows alone
+        # recover all k sources (no identity equations at all).
+        k, n_bytes = 5, 12
+        src = rng.integers(0, 256, (k, n_bytes)).astype(np.uint8)
+        coeffs = gf256_coefficients(3, "full", shape=(k + 1, k))
+        coded = gf256_encode(coeffs, src)
+        recovered, solved = gf256_eliminate(coeffs, coded)
+        assert recovered.all()
+        assert np.array_equal(solved, src)
+
+
+class TestSegmentedRlncCodec:
+    @pytest.mark.parametrize("field", ["gf2", "gf256"])
+    def test_clean_roundtrip(self, field, rng):
+        codec = SegmentedRlncCodec(8, 3, field=field, seed=2)
+        payload = bytes(rng.integers(0, 256, 101, dtype=np.uint8))
+        wire = codec.encode(payload)
+        assert len(wire) == codec.wire_length(len(payload))
+        assert codec.payload_length(len(wire)) == len(payload)
+        result = codec.decode(wire)
+        assert result.complete
+        assert result.payload() == payload
+        assert not result.coded_recovered.any()
+
+    @pytest.mark.parametrize("field", ["gf2", "gf256"])
+    def test_recovers_corrupted_segments(self, field, rng):
+        codec = SegmentedRlncCodec(10, 5, field=field, seed=4)
+        payload = bytes(rng.integers(0, 256, 250, dtype=np.uint8))
+        wire = bytearray(codec.encode(payload))
+        for idx in (0, 4, 9):
+            offset, _ = codec.data_spans(len(payload))[idx]
+            wire[offset] ^= 0x55
+        result = codec.decode(bytes(wire))
+        assert not result.data_ok[[0, 4, 9]].any()
+        assert result.data_ok.sum() == 7
+        # 5 intact repair equations over 3 unknowns: GF(256) always
+        # solves; GF(2) solves unless the random 5x3 minor loses rank
+        # (not the case for this seed).
+        assert result.complete
+        assert result.payload() == payload
+        assert result.coded_recovered.sum() == 3
+
+    def test_unrecoverable_marks_segments_none(self, rng):
+        codec = SegmentedRlncCodec(6, 2, field="gf2", seed=1)
+        payload = bytes(rng.integers(0, 256, 120, dtype=np.uint8))
+        wire = bytearray(codec.encode(payload))
+        # Corrupt more segments than repair equations exist.
+        for idx in range(4):
+            offset, _ = codec.data_spans(len(payload))[idx]
+            wire[offset] ^= 0xFF
+        result = codec.decode(bytes(wire))
+        assert not result.complete
+        assert result.delivered.sum() < 6
+        undelivered = [
+            i for i, seg in enumerate(result.segments) if seg is None
+        ]
+        assert undelivered
+        # Zero-fill keeps the delivered segments addressable.
+        rebuilt = result.payload()
+        for i, (lo, size) in enumerate(
+            zip(
+                np.cumsum([0] + codec.segment_sizes(len(payload))[:-1]),
+                codec.segment_sizes(len(payload)),
+            )
+        ):
+            if result.delivered[i]:
+                assert rebuilt[lo : lo + size] == payload[lo : lo + size]
+
+    def test_corrupted_repair_segments_are_dropped(self, rng):
+        codec = SegmentedRlncCodec(6, 3, field="gf256", seed=9)
+        payload = bytes(rng.integers(0, 256, 90, dtype=np.uint8))
+        wire = bytearray(codec.encode(payload))
+        for offset, _ in codec.repair_spans(len(payload)):
+            wire[offset] ^= 0x01
+        data_offset, _ = codec.data_spans(len(payload))[2]
+        wire[data_offset] ^= 0x01
+        result = codec.decode(bytes(wire))
+        assert not result.repair_ok.any()
+        assert not result.delivered[2]
+
+    def test_recoverable_mask_matches_decode(self, rng):
+        codec = SegmentedRlncCodec(8, 4, field="gf2", seed=6)
+        payload = bytes(rng.integers(0, 256, 160, dtype=np.uint8))
+        for trial in range(10):
+            wire = bytearray(codec.encode(payload))
+            erase = rng.random(8) < 0.4
+            for idx in np.flatnonzero(erase):
+                offset, _ = codec.data_spans(len(payload))[int(idx)]
+                wire[offset] ^= 0xA5
+            result = codec.decode(bytes(wire))
+            mask = codec.recoverable_mask(
+                result.data_ok, result.repair_ok
+            )
+            assert np.array_equal(mask, result.delivered)
+
+    def test_wire_length_inversion_exhaustive(self):
+        codec = SegmentedRlncCodec(7, 3, seed=0)
+        for payload_len in range(7, 200):
+            wire_len = codec.wire_length(payload_len)
+            assert codec.payload_length(wire_len) == payload_len
+
+    def test_rejects_undersized_payload(self):
+        codec = SegmentedRlncCodec(10, 2)
+        with pytest.raises(ValueError, match="cannot fill"):
+            codec.encode(b"short")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="n_segments"):
+            SegmentedRlncCodec(0, 1)
+        with pytest.raises(ValueError, match="n_repair"):
+            SegmentedRlncCodec(4, 0)
+        with pytest.raises(ValueError, match="field"):
+            SegmentedRlncCodec(4, 2, field="gf64")
+        with pytest.raises(ValueError, match="one byte"):
+            SegmentedRlncCodec(300, 2)
+
+
+def _clean_channel(symbols):
+    symbols = np.asarray(symbols, dtype=np.int64)
+    return SoftPacket(
+        symbols=symbols.copy(),
+        hints=np.zeros(symbols.size),
+        truth=symbols.copy(),
+    )
+
+
+def _burst_channel(rng, error=0.3, frac=0.3):
+    """Corrupt a contiguous fraction of each transmission."""
+
+    def channel(symbols):
+        symbols = np.asarray(symbols, dtype=np.int64)
+        out = symbols.copy()
+        hints = np.zeros(symbols.size)
+        if symbols.size:
+            burst = max(1, int(frac * symbols.size))
+            start = int(rng.integers(0, symbols.size - burst + 1))
+            flip = rng.random(burst) < error
+            out[start : start + burst] ^= flip * int(
+                rng.integers(1, 16)
+            )
+            hints[start : start + burst] = np.where(flip, 9.0, 0.0)
+        return SoftPacket(symbols=out, hints=hints, truth=symbols)
+
+    return channel
+
+
+class TestCodedRepairSession:
+    def test_clean_channel_single_round(self):
+        session = CodedRepairSession(_clean_channel)
+        payload = b"network coded partial packet recovery" * 3
+        log = session.transfer(0, payload)
+        assert log.delivered
+        assert log.rounds == 1
+        assert not log.retransmit_packet_bytes
+        assert session.receiver.reassembled_payload(0) == payload
+
+    def test_bursty_channel_delivers(self, rng):
+        session = CodedRepairSession(
+            _burst_channel(rng), seed=5, max_rounds=30
+        )
+        for seq in range(5):
+            payload = bytes(
+                rng.integers(0, 256, 150, dtype=np.uint8)
+            )
+            log = session.transfer(seq, payload)
+            assert log.delivered, f"packet {seq} not delivered"
+            assert session.receiver.reassembled_payload(seq) == payload
+
+    def test_coded_rows_survive_individual_losses(self, rng):
+        """Killing any one coded row per round must not stall the
+        session: the redundancy absorbs it without a re-request."""
+        sender = CodedRepairSender(seed=8, redundancy=1.0)
+        receiver = CodedRepairReceiver(eta=6.0)
+        payload = bytes(rng.integers(0, 256, 80, dtype=np.uint8))
+        wire = payload + CRC32_IEEE.compute_bytes(payload)
+        symbols = bytes_to_symbols(wire)
+        sender.register_packet(0, symbols)
+        corrupted = symbols.copy()
+        corrupted[10:40] ^= 0x5
+        hints = np.zeros(symbols.size)
+        hints[10:40] = 9.0
+        receiver.receive_data(
+            0,
+            SoftPacket(symbols=corrupted, hints=hints, truth=symbols),
+        )
+        packet = sender.handle_feedback_coded(receiver.build_feedback(0))
+        assert packet is not None
+        assert packet.n_coded > len(packet.spans)
+        # Corrupt one whole coded row in flight.
+        view_symbols = packet.rows.reshape(-1).copy()
+        row_width = packet.rows.shape[1]
+        view_symbols[:row_width] ^= 0x3
+        view = SoftPacket(
+            symbols=view_symbols,
+            hints=np.zeros(view_symbols.size),
+            truth=packet.rows.reshape(-1),
+        )
+        receiver.receive_coded_repair(packet, view)
+        assert receiver.is_complete(0)
+        assert receiver.reassembled_payload(0) == payload
+
+    def test_fresh_coefficients_each_round(self, rng):
+        sender = CodedRepairSender(seed=1)
+        payload = bytes(rng.integers(0, 256, 60, dtype=np.uint8))
+        wire = payload + CRC32_IEEE.compute_bytes(payload)
+        symbols = bytes_to_symbols(wire)
+        sender.register_packet(0, symbols)
+        feedback_segments = ((4, 20), (40, 60))
+        from repro.arq.feedback import FeedbackPacket, gaps_for_segments
+
+        def make_feedback():
+            gaps = gaps_for_segments(feedback_segments, symbols.size)
+            return FeedbackPacket(
+                seq=0,
+                n_symbols=symbols.size,
+                segments=feedback_segments,
+                gap_checksums=tuple(
+                    segment_checksum(symbols[s:e]) for s, e in gaps
+                ),
+            )
+
+        first = sender.handle_feedback_coded(make_feedback())
+        second = sender.handle_feedback_coded(make_feedback())
+        assert not np.array_equal(
+            first.coefficients, second.coefficients
+        )
+
+    def test_packet_serialisation_roundtrip(self, rng):
+        sender = CodedRepairSender(seed=3)
+        receiver = CodedRepairReceiver()
+        payload = bytes(rng.integers(0, 256, 64, dtype=np.uint8))
+        wire = payload + CRC32_IEEE.compute_bytes(payload)
+        symbols = bytes_to_symbols(wire)
+        sender.register_packet(5, symbols)
+        corrupted = symbols.copy()
+        corrupted[3:9] ^= 0x7
+        hints = np.zeros(symbols.size)
+        hints[3:9] = 8.0
+        receiver.receive_data(
+            5,
+            SoftPacket(symbols=corrupted, hints=hints, truth=symbols),
+        )
+        packet = sender.handle_feedback_coded(receiver.build_feedback(5))
+        decoded = decode_coded_repair(encode_coded_repair(packet))
+        assert decoded.seq == packet.seq
+        assert decoded.n_symbols == packet.n_symbols
+        assert decoded.spans == packet.spans
+        assert np.array_equal(decoded.coefficients, packet.coefficients)
+        assert np.array_equal(decoded.rows, packet.rows)
+        assert decoded.row_checksums == packet.row_checksums
+        assert decoded.gap_checksums == packet.gap_checksums
+
+    def test_ack_releases_sender_state(self):
+        session = CodedRepairSession(_clean_channel)
+        payload = b"x" * 40
+        session.transfer(3, payload)
+        assert not session._sender.has_packet(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            CodedRepairSession(_clean_channel, max_rounds=0)
+        with pytest.raises(ValueError, match="redundancy"):
+            CodedRepairSender(redundancy=-0.5)
+
+    def test_many_bad_runs_keep_redundancy(self, rng):
+        """A feedback round naming more bad runs than the 8-bit coded
+        row count can carry must merge spans rather than silently
+        clamp away the extra equations."""
+        sender = CodedRepairSender(seed=2, redundancy=0.25)
+        n_symbols = 2600
+        truth = rng.integers(0, 16, n_symbols)
+        sender.register_packet(0, truth)
+        # 260 single-symbol bad runs, evenly spaced.
+        segments = tuple((10 * i, 10 * i + 1) for i in range(260))
+        from repro.arq.feedback import FeedbackPacket, gaps_for_segments
+
+        gaps = gaps_for_segments(segments, n_symbols)
+        feedback = FeedbackPacket(
+            seq=0,
+            n_symbols=n_symbols,
+            segments=segments,
+            gap_checksums=tuple(
+                segment_checksum(truth[s:e]) for s, e in gaps
+            ),
+        )
+        packet = sender.handle_feedback_coded(feedback)
+        assert packet.n_coded <= 255
+        assert packet.n_coded > len(packet.spans)  # redundancy intact
+        assert len(packet.spans) < 260  # spans were merged
+        # Every requested symbol is still covered by some span.
+        covered = np.zeros(n_symbols, dtype=bool)
+        for start, end in packet.spans:
+            covered[start:end] = True
+        for start, end in segments:
+            assert covered[start:end].all()
+        # The packet is internally consistent (round-trips).
+        decoded = decode_coded_repair(encode_coded_repair(packet))
+        assert decoded.spans == packet.spans

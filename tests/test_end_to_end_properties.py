@@ -11,7 +11,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.arq.protocol import PpArqSession
 from repro.phy.channelsim import add_awgn, fractional_delay
-from repro.phy.codebook import ZigbeeCodebook
 from repro.phy.modulation import MskModulator
 from repro.phy.symbols import SoftPacket
 from repro.phy.timing import estimate_chip_phase

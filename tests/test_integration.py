@@ -6,7 +6,6 @@ adaptive threshold learning from real channel statistics.
 """
 
 import numpy as np
-import pytest
 
 from repro.arq.protocol import PpArqSession
 from repro.link.adaptive import AdaptiveThreshold

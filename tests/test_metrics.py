@@ -13,6 +13,7 @@ from repro.link.schemes import (
     PacketCrcScheme,
     PprScheme,
     ReceivedPayload,
+    SpracScheme,
 )
 from repro.phy.chipchannel import transmit_chipwords
 from repro.phy.spreading import bytes_to_symbols
@@ -195,3 +196,60 @@ class TestHintStatistics:
         total_1 = sum(k * v for k, v in counts[1].items())
         total_4 = sum(k * v for k, v in counts[4].items())
         assert total_4 >= total_1
+
+
+class TestTraceDeliverSprac:
+    def test_clean_trace_delivers_everything(self):
+        scheme = SpracScheme(n_segments=10, n_repair=5)
+        result = trace_deliver(
+            scheme, np.ones(600, dtype=bool), np.zeros(600)
+        )
+        assert result.delivered_correct_bits == result.payload_bits
+        assert result.frame_passed
+        # Overhead charges every CRC plus the repair airtime.
+        assert result.overhead_bits == 32 * 15 + 5 * 60 * 4
+
+    def test_burst_recovered_via_repair_windows(self):
+        scheme = SpracScheme(n_segments=10, n_repair=5, field="gf256")
+        correct = np.ones(600, dtype=bool)
+        correct[0:55] = False  # erases segment 0 (symbols 0..59)
+        result = trace_deliver(scheme, correct, np.zeros(600))
+        assert result.frame_passed
+        assert result.delivered_correct_bits == result.payload_bits
+        assert result.delivered_incorrect_bits == 0
+
+    def test_more_erasures_than_equations_fail_closed(self):
+        scheme = SpracScheme(n_segments=10, n_repair=1, field="gf256")
+        correct = np.zeros(600, dtype=bool)  # everything wrong
+        result = trace_deliver(scheme, correct, np.zeros(600))
+        assert not result.frame_passed
+        assert result.delivered_correct_bits == 0
+
+    def test_sprac_never_below_equivalent_fragmented(
+        self, small_sim_result
+    ):
+        """Coded repair can only add to what the fragments deliver."""
+        k = 20
+        frag_eval, sprac_eval = evaluate_schemes(
+            small_sim_result,
+            [
+                FragmentedCrcScheme(n_fragments=k),
+                SpracScheme(n_segments=k, n_repair=k // 2),
+            ],
+            postamble_options=(True,),
+        )
+        for link in frag_eval.stats.links():
+            assert (
+                sprac_eval.stats[link].delivered_correct_bits
+                >= frag_eval.stats[link].delivered_correct_bits
+            )
+
+    def test_empty_trace(self):
+        scheme = SpracScheme(n_segments=4, n_repair=2)
+        result = trace_deliver(
+            scheme,
+            np.zeros(0, dtype=bool),
+            np.zeros(0),
+        )
+        assert result.payload_bits == 0
+        assert result.frame_passed

@@ -5,7 +5,6 @@ import pytest
 
 from repro.link.fragmentation import AdaptiveFragmentSizer
 from repro.link.relay import (
-    CombinedForward,
     PartialForward,
     combine_forwards,
     make_partial_forward,

@@ -34,6 +34,7 @@ EXPECTED_IDS = {
     "fig16",
     "sweep_load",
     "waveform_capture",
+    "coded_recovery",
 }
 
 
@@ -47,6 +48,7 @@ class TestPublicApi:
 
     def test_subpackage_exports_resolve(self):
         import repro.arq
+        import repro.coding
         import repro.experiments
         import repro.link
         import repro.phy
@@ -55,6 +57,7 @@ class TestPublicApi:
 
         for module in (
             repro.arq,
+            repro.coding,
             repro.experiments,
             repro.link,
             repro.phy,

@@ -9,6 +9,7 @@ from repro.link.schemes import (
     PacketCrcScheme,
     PprScheme,
     ReceivedPayload,
+    SpracScheme,
     default_schemes,
 )
 from repro.phy.spreading import bytes_to_symbols
@@ -189,3 +190,67 @@ class TestCommon:
             result.delivered_correct_bits + result.delivered_incorrect_bits
             == result.delivered_bits
         )
+
+
+class TestSprac:
+    def test_clean_delivers_everything(self):
+        scheme = SpracScheme(n_segments=6, n_repair=3)
+        result = scheme.deliver(_clean_rx(scheme, PAYLOAD))
+        assert result.payload_bits == 8 * len(PAYLOAD)
+        assert result.delivered_correct_bits == result.payload_bits
+        assert result.delivered_incorrect_bits == 0
+        assert result.frame_passed
+
+    def test_corrupt_segment_recovered_by_coding(self):
+        scheme = SpracScheme(n_segments=6, n_repair=3, field="gf256")
+        # Segment 0 occupies bytes [0, 20) -> symbols [0, 40).
+        rx = _corrupt_rx(scheme, PAYLOAD, 0, 4)
+        result = scheme.deliver(rx)
+        assert result.frame_passed
+        assert result.delivered_correct_bits == 8 * len(PAYLOAD)
+        assert result.delivered_incorrect_bits == 0
+
+    def test_losses_beyond_repair_stay_lost(self):
+        scheme = SpracScheme(n_segments=6, n_repair=1, field="gf256")
+        wire = scheme.encode_payload(PAYLOAD)
+        truth = bytes_to_symbols(wire)
+        symbols = truth.copy()
+        # Corrupt the first symbol of three different data segments.
+        for offset, _ in scheme.codec.data_spans(len(PAYLOAD))[:3]:
+            symbols[2 * offset] = (symbols[2 * offset] + 1) % 16
+        rx = ReceivedPayload(
+            symbols=symbols,
+            hints=np.zeros(truth.size),
+            truth=truth,
+        )
+        result = scheme.deliver(rx)
+        assert not result.frame_passed
+        # Three intact segments deliver; one repair row cannot cover
+        # three erasures.
+        assert result.delivered_correct_bits == 8 * (len(PAYLOAD) // 2)
+
+    def test_corrupt_repair_rows_do_not_poison_delivery(self):
+        scheme = SpracScheme(n_segments=6, n_repair=2)
+        wire = scheme.encode_payload(PAYLOAD)
+        truth = bytes_to_symbols(wire)
+        symbols = truth.copy()
+        for offset, _ in scheme.codec.repair_spans(len(PAYLOAD)):
+            symbols[2 * offset] = (symbols[2 * offset] + 1) % 16
+        rx = ReceivedPayload(
+            symbols=symbols,
+            hints=np.zeros(truth.size),
+            truth=truth,
+        )
+        result = scheme.deliver(rx)
+        assert result.frame_passed
+        assert result.delivered_correct_bits == 8 * len(PAYLOAD)
+
+    def test_overhead_includes_repair_payload(self):
+        scheme = SpracScheme(n_segments=10, n_repair=5)
+        overhead = scheme.wire_overhead_bytes(1500)
+        # 15 CRCs plus 5 repair segments of ceil(1500/10) bytes.
+        assert overhead == 4 * 15 + 5 * 150
+
+    def test_default_repair_count(self):
+        assert SpracScheme(n_segments=30).n_repair == 8
+        assert SpracScheme(n_segments=3).n_repair == 1

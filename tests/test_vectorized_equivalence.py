@@ -21,6 +21,19 @@ from hypothesis import given, settings, strategies as st
 
 from repro.arq.chunking import plan_chunks, plan_chunks_reference
 from repro.arq.runlength import RunLengthPacket
+from repro.coding.gf2 import (
+    gf2_eliminate,
+    gf2_eliminate_reference,
+    gf2_encode,
+    gf2_encode_reference,
+    pack_bytes_to_words,
+)
+from repro.coding.gf256 import (
+    gf256_eliminate,
+    gf256_eliminate_reference,
+    gf256_encode,
+    gf256_encode_reference,
+)
 from repro.phy.batch import (
     BatchReceptionEngine,
     WaveformBatchEngine,
@@ -655,3 +668,113 @@ class TestSimulationBatchEquivalence:
             assert a.postamble_detectable == b.postamble_detectable
             assert a.trailer_ok == b.trailer_ok
             assert a.acquired_preamble == b.acquired_preamble
+
+
+class TestGfKernelEquivalence:
+    """The coding layer's GF kernels vs their loop references.
+
+    ``gf2_encode``/``gf2_eliminate`` operate on bit-packed uint64
+    words, ``gf256_*`` on log/exp-table bytes; each keeps its
+    pure-loop implementation as the executable specification.  Both
+    directions are pinned bit-for-bit, including the pivot choices of
+    the eliminations (same swaps, same XOR order) and the
+    rank-deficient systems where only some unknowns resolve.
+    """
+
+    def test_gf2_encode_random_sweep(self, rng):
+        for trial in range(25):
+            k = int(rng.integers(1, 14))
+            m = int(rng.integers(1, 14))
+            n_bytes = int(rng.integers(1, 40))
+            rows = pack_bytes_to_words(
+                rng.integers(0, 256, (k, n_bytes)).astype(np.uint8)
+            )
+            coeffs = rng.integers(0, 2, (m, k)).astype(np.uint8)
+            assert np.array_equal(
+                gf2_encode(coeffs, rows),
+                gf2_encode_reference(coeffs, rows),
+            ), f"gf2 encode diverges (trial={trial})"
+
+    def test_gf2_eliminate_random_sweep(self, rng):
+        for trial in range(25):
+            k = int(rng.integers(1, 12))
+            m = int(rng.integers(1, 16))
+            n_bytes = int(rng.integers(1, 24))
+            coeffs = rng.integers(0, 2, (m, k)).astype(np.uint8)
+            payload = pack_bytes_to_words(
+                rng.integers(0, 256, (m, n_bytes)).astype(np.uint8)
+            )
+            rec, sol = gf2_eliminate(coeffs, payload)
+            rec_ref, sol_ref = gf2_eliminate_reference(coeffs, payload)
+            assert np.array_equal(rec, rec_ref), f"trial={trial}"
+            assert np.array_equal(sol, sol_ref), f"trial={trial}"
+
+    def test_gf2_eliminate_wide_coefficients(self, rng):
+        """k > 64 exercises multi-word coefficient packing."""
+        k, m = 100, 110
+        coeffs = rng.integers(0, 2, (m, k)).astype(np.uint8)
+        payload = pack_bytes_to_words(
+            rng.integers(0, 256, (m, 9)).astype(np.uint8)
+        )
+        rec, sol = gf2_eliminate(coeffs, payload)
+        rec_ref, sol_ref = gf2_eliminate_reference(coeffs, payload)
+        assert np.array_equal(rec, rec_ref)
+        assert np.array_equal(sol, sol_ref)
+
+    def test_gf2_eliminate_degenerate_systems(self):
+        zero = np.zeros((3, 4), dtype=np.uint8)
+        payload = np.ones((3, 2), dtype=np.uint64)
+        rec, sol = gf2_eliminate(zero, payload)
+        rec_ref, sol_ref = gf2_eliminate_reference(zero, payload)
+        assert np.array_equal(rec, rec_ref) and not rec.any()
+        assert np.array_equal(sol, sol_ref)
+        # Duplicate rows collapse to rank 1.
+        dup = np.array([[1, 1, 0], [1, 1, 0]], dtype=np.uint8)
+        payload = np.arange(2, dtype=np.uint64)[:, None]
+        rec, sol = gf2_eliminate(dup, payload)
+        rec_ref, sol_ref = gf2_eliminate_reference(dup, payload)
+        assert np.array_equal(rec, rec_ref)
+        assert np.array_equal(sol, sol_ref)
+
+    def test_gf256_encode_random_sweep(self, rng):
+        for trial in range(15):
+            k = int(rng.integers(1, 10))
+            m = int(rng.integers(1, 10))
+            n_bytes = int(rng.integers(1, 30))
+            rows = rng.integers(0, 256, (k, n_bytes)).astype(np.uint8)
+            coeffs = rng.integers(0, 256, (m, k)).astype(np.uint8)
+            assert np.array_equal(
+                gf256_encode(coeffs, rows),
+                gf256_encode_reference(coeffs, rows),
+            ), f"gf256 encode diverges (trial={trial})"
+
+    def test_gf256_eliminate_random_sweep(self, rng):
+        for trial in range(15):
+            k = int(rng.integers(1, 10))
+            m = int(rng.integers(1, 14))
+            n_bytes = int(rng.integers(1, 20))
+            coeffs = rng.integers(0, 256, (m, k)).astype(np.uint8)
+            payload = rng.integers(0, 256, (m, n_bytes)).astype(
+                np.uint8
+            )
+            rec, sol = gf256_eliminate(coeffs, payload)
+            rec_ref, sol_ref = gf256_eliminate_reference(
+                coeffs, payload
+            )
+            assert np.array_equal(rec, rec_ref), f"trial={trial}"
+            assert np.array_equal(sol, sol_ref), f"trial={trial}"
+
+    def test_gf256_eliminate_singular_minor(self):
+        """Linearly dependent GF(256) rows: partial recovery only,
+        identical in both implementations."""
+        coeffs = np.array(
+            [[2, 4, 0], [4, 8, 0], [0, 0, 3]], dtype=np.uint8
+        )  # row 1 = 2 * row 0
+        payload = np.array(
+            [[10, 20], [7, 9], [1, 2]], dtype=np.uint8
+        )
+        rec, sol = gf256_eliminate(coeffs, payload)
+        rec_ref, sol_ref = gf256_eliminate_reference(coeffs, payload)
+        assert np.array_equal(rec, rec_ref)
+        assert np.array_equal(sol, sol_ref)
+        assert rec.tolist() == [False, False, True]
