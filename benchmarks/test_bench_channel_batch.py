@@ -100,7 +100,7 @@ def test_bench_sharded_capacity_points(benchmark):
     for config in points(seq):
         a, b = seq.get(config), par.get(config)
         assert len(a.records) == len(b.records)
-        for ra, rb in zip(a.records, b.records):
+        for ra, rb in zip(a.records, b.records, strict=True):
             assert ra.tx_id == rb.tx_id
             assert np.array_equal(ra.body_symbols, rb.body_symbols)
             assert np.array_equal(ra.body_hints, rb.body_hints)

@@ -51,7 +51,7 @@ def _speedup_gate(benchmark, fast, slow, label):
     slow_result = slow()
     slow_s = time.perf_counter() - start
     if isinstance(fast_result, tuple):
-        for a, b in zip(fast_result, slow_result):
+        for a, b in zip(fast_result, slow_result, strict=True):
             assert np.array_equal(a, b)
     else:
         assert np.array_equal(fast_result, slow_result)

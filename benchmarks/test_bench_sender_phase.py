@@ -30,7 +30,7 @@ def _replay_naive(starts, ends, queries) -> int:
     total = 0
     for q in queries:
         total += sum(
-            1 for s, e in zip(starts, ends) if s <= q < e
+            1 for s, e in zip(starts, ends, strict=True) if s <= q < e
         )
     return total
 

@@ -96,7 +96,7 @@ def test_bench_sova_batch_beats_per_packet_loop(benchmark):
     decoder.decode_batch(packets)
     batch_s = time.perf_counter() - start
 
-    for one, many in zip(single_results, batch_results):
+    for one, many in zip(single_results, batch_results, strict=True):
         assert np.array_equal(one.bits, many.bits)
         assert np.array_equal(one.hints, many.hints)
     if benchmark.enabled:

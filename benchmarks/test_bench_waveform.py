@@ -126,5 +126,5 @@ def test_bench_waveform_engine_16_captures(benchmark):
     assert all(r.acquired for r in receptions)
     assert all(
         np.array_equal(r.symbols, body)
-        for r, body in zip(receptions, bodies)
+        for r, body in zip(receptions, bodies, strict=True)
     )

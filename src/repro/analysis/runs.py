@@ -18,7 +18,7 @@ def run_lengths(mask) -> list[int]:
         return []
     padded = np.concatenate([[False], mask, [False]])
     change = np.flatnonzero(padded[1:] != padded[:-1])
-    return [int(e - s) for s, e in zip(change[::2], change[1::2])]
+    return [int(e - s) for s, e in zip(change[::2], change[1::2], strict=True)]
 
 
 def longest_run(mask) -> int:

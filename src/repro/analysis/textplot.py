@@ -48,7 +48,7 @@ def render_cdf(
         xmax = float(all_samples.max())
     xmax = max(xmax, 1e-12)
     grid = np.full((height, width), " ", dtype="<U1")
-    for idx, (label, samples) in enumerate(series.items()):
+    for idx, (_label, samples) in enumerate(series.items()):
         marker = _marker_for(idx, len(series))
         xs = np.sort(np.asarray(samples, dtype=np.float64))
         ys = np.arange(1, xs.size + 1) / xs.size
@@ -103,9 +103,9 @@ def render_series(
     span = max(ymax - ymin, 1e-12)
     xmax = max(float(xs.max()), 1e-12)
     grid = [[" "] * width for _ in range(height)]
-    for idx, (label, ys) in enumerate(transformed.items()):
+    for idx, (_label, ys) in enumerate(transformed.items()):
         marker = _marker_for(idx, len(transformed))
-        for x, y in zip(xs, ys):
+        for x, y in zip(xs, ys, strict=True):
             if not np.isfinite(y):
                 continue
             col = min(width - 1, int(x / xmax * (width - 1)))
@@ -158,9 +158,9 @@ def render_scatter(
         if ymin <= x <= ymax:
             row = int((ymax - x) / (ymax - ymin) * (height - 1))
             grid[row][col] = "."
-    for idx, (label, (px, py)) in enumerate(points_by_label.items()):
+    for idx, (_label, (px, py)) in enumerate(points_by_label.items()):
         marker = _marker_for(idx, len(points_by_label))
-        for x, y in zip(_tx(px), _tx(py)):
+        for x, y in zip(_tx(px), _tx(py), strict=True):
             col = min(width - 1, int((x - xmin) / (xmax - xmin) * (width - 1)))
             row = min(
                 height - 1, int((ymax - y) / (ymax - ymin) * (height - 1))
@@ -202,10 +202,10 @@ def format_table(
     if title:
         lines.append(title)
     sep = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths, strict=True)))
     lines.append(sep)
     for row in cells[1:]:
         lines.append(
-            " | ".join(c.rjust(w) for c, w in zip(row, widths))
+            " | ".join(c.rjust(w) for c, w in zip(row, widths, strict=True))
         )
     return "\n".join(lines)

@@ -238,7 +238,7 @@ def chunk_cost_naive(runs: RunLengthPacket, checksum_bits: int = 32) -> float:
     log_s = _log2(max(runs.n_symbols, 2))
     bits_per_symbol = 4
     total = 0.0
-    for b, g in zip(runs.bad, runs.good):
+    for b, g in zip(runs.bad, runs.good, strict=True):
         total += (
             log_s
             + _log2(max(b, 2))

@@ -222,7 +222,7 @@ def decode_retransmission(data: bytes) -> RetransmissionPacket:
         segments=tuple(segments),
         gap_checksums=gap_checksums,
     )
-    for seg, declared in zip(packet.segments, declared_checksums):
+    for seg, declared in zip(packet.segments, declared_checksums, strict=True):
         if segment_checksum(seg.symbols) != declared:
             raise ValueError(
                 f"segment at {seg.start} failed its checksum in decode"

@@ -110,7 +110,7 @@ class PpArqSender:
             )
         requested = list(feedback.segments)
         gaps = gaps_for_segments(feedback.segments, truth.size)
-        for (start, end), rx_checksum in zip(gaps, feedback.gap_checksums):
+        for (start, end), rx_checksum in zip(gaps, feedback.gap_checksums, strict=True):
             if segment_checksum(truth[start:end]) != rx_checksum:
                 requested.append((start, end))
         if not requested:
@@ -276,7 +276,7 @@ class PpArqReceiver:
         # Confirm gaps against the sender's checksums.
         spans = packet.segment_spans()
         gaps = gaps_for_segments(spans, packet.n_symbols)
-        for (start, end), sender_crc in zip(gaps, packet.gap_checksums):
+        for (start, end), sender_crc in zip(gaps, packet.gap_checksums, strict=True):
             mine = segment_checksum(state.symbols[start:end])
             if mine == sender_crc:
                 state.verified[start:end] = True

@@ -84,7 +84,7 @@ class RunLengthPacket:
         leading_good = 0
         bad: list[int] = []
         good: list[int] = []
-        for start, end in zip(starts, ends):
+        for start, end in zip(starts, ends, strict=True):
             length = int(end - start)
             if mask[start]:
                 if not bad:
@@ -147,7 +147,7 @@ class RunLengthPacket:
         if self.leading_good:
             out.append(Run(good=True, start=0, length=self.leading_good))
             pos = self.leading_good
-        for b, g in zip(self.bad, self.good):
+        for b, g in zip(self.bad, self.good, strict=True):
             out.append(Run(good=False, start=pos, length=b))
             pos += b
             if g:

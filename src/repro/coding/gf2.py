@@ -244,8 +244,8 @@ def gf2_eliminate_reference(
         for i in range(m):
             if i != row and rows[i][0][col]:
                 rows[i] = (
-                    [a ^ b for a, b in zip(rows[i][0], rows[row][0])],
-                    [a ^ b for a, b in zip(rows[i][1], rows[row][1])],
+                    [a ^ b for a, b in zip(rows[i][0], rows[row][0], strict=True)],
+                    [a ^ b for a, b in zip(rows[i][1], rows[row][1], strict=True)],
                 )
         pivots.append((row, col))
         row += 1

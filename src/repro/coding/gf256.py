@@ -212,7 +212,7 @@ def gf256_eliminate_reference(
             if i != row and factor:
                 rows[i] = [
                     v ^ mul(factor, p)
-                    for v, p in zip(rows[i], rows[row])
+                    for v, p in zip(rows[i], rows[row], strict=True)
                 ]
         pivots.append((row, col))
         row += 1

@@ -87,7 +87,7 @@ class RlncDecodeResult:
         callers can still address the delivered ranges.
         """
         out = []
-        for seg, size in zip(self.segments, self._segment_sizes):
+        for seg, size in zip(self.segments, self._segment_sizes, strict=True):
             out.append(seg if seg is not None else bytes(size))
         return b"".join(out)
 

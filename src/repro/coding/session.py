@@ -174,11 +174,18 @@ def encode_coded_repair(packet: CodedRepairPacket) -> bytes:
         writer.write_uint(end - start, LENGTH_BITS)
     writer.write_uint(packet.n_coded, COUNT_BITS)
     writer.write_uint(packet.rows.shape[1] // 2, LENGTH_BITS)
+    syms = np.asarray(packet.rows, dtype=np.int64)
+    if syms.size and (syms.min() < 0 or syms.max() > 15):
+        raise ValueError("coded symbol rows must hold 4-bit values")
+    # Expand each 4-bit symbol to its MSB-first bits in one shot
+    # (equivalent to write_uint(sym, 4) per symbol).
+    sym_bits = ((syms[:, :, None] >> np.array([3, 2, 1, 0])) & 1).reshape(
+        syms.shape[0], 4 * syms.shape[1]
+    )
     for c in range(packet.n_coded):
         writer.write_bits(packet.coefficients[c])
         writer.write_uint(packet.row_checksums[c], CHECKSUM_BITS)
-        for sym in packet.rows[c]:
-            writer.write_uint(int(sym), 4)
+        writer.write_bits(sym_bits[c])
     for checksum in packet.gap_checksums:
         writer.write_uint(checksum, CHECKSUM_BITS)
     return writer.getvalue()
@@ -200,11 +207,18 @@ def decode_coded_repair(data: bytes) -> CodedRepairPacket:
     coefficients = np.zeros((n_coded, n_spans), dtype=np.uint8)
     rows = np.zeros((n_coded, 2 * row_bytes), dtype=np.int64)
     checksums = []
+    nibble_weights = np.array([8, 4, 2, 1], dtype=np.int64)
     for c in range(n_coded):
         coefficients[c] = reader.read_bits(n_spans)
         checksums.append(reader.read_uint(CHECKSUM_BITS))
-        for s in range(2 * row_bytes):
-            rows[c, s] = reader.read_uint(4)
+        # One ragged bit read per row; nibbles reassemble vectorized
+        # (equivalent to read_uint(4) per symbol, MSB-first).
+        rows[c] = (
+            reader.read_bits(8 * row_bytes)
+            .astype(np.int64)
+            .reshape(-1, 4)
+            @ nibble_weights
+        )
     n_gaps = len(gaps_for_segments(tuple(spans), n_symbols))
     gap_checksums = tuple(
         reader.read_uint(CHECKSUM_BITS) for _ in range(n_gaps)
@@ -395,7 +409,7 @@ class CodedRepairReceiver(PpArqReceiver):
         # Confirm gaps against the sender's checksums, as in the raw
         # retransmission path.
         gaps = gaps_for_segments(packet.spans, packet.n_symbols)
-        for (start, end), sender_crc in zip(gaps, packet.gap_checksums):
+        for (start, end), sender_crc in zip(gaps, packet.gap_checksums, strict=True):
             mine = segment_checksum(state.symbols[start:end])
             if mine == sender_crc:
                 state.verified[start:end] = True

@@ -347,7 +347,7 @@ def grid(**axes: Any) -> tuple[Scenario, ...]:
     for combo in product(*values):
         overrides: list[tuple[str, Any]] = []
         params: list[tuple[str, Any]] = []
-        for name, value in zip(names, combo):
+        for name, value in zip(names, combo, strict=True):
             target = config_field(name)
             if target is None:
                 _reject_near_miss(name)
@@ -382,7 +382,7 @@ class Sweep:
         cache.prefetch(configs)
         return [
             (scenario, cache.get(config))
-            for scenario, config in zip(self.scenarios, configs)
+            for scenario, config in zip(self.scenarios, configs, strict=True)
         ]
 
 

@@ -155,7 +155,7 @@ def run(cache: RunCache) -> ExperimentOutput:
         for k in SEGMENTS:
             frags = [frag_memo[(noise, s, k)][0] for s in SEEDS]
             spracs = [frag_memo[(noise, s, k)][1] for s in SEEDS]
-            gaps = [b - a for a, b in zip(frags, spracs)]
+            gaps = [b - a for a, b in zip(frags, spracs, strict=True)]
             frag_mean, frag_hw = _mean_ci(frags)
             sprac_mean, sprac_hw = _mean_ci(spracs)
             gap_mean, gap_hw = _mean_ci(gaps)
@@ -248,7 +248,7 @@ def run(cache: RunCache) -> ExperimentOutput:
         ppr_stats[f"{noise}dBm-eta{a:g}"]["incorrect_kbits_mean"]
         <= ppr_stats[f"{noise}dBm-eta{b:g}"]["incorrect_kbits_mean"]
         for noise in NOISE_FLOORS
-        for a, b in zip(ETAS[:-1], ETAS[1:])
+        for a, b in zip(ETAS[:-1], ETAS[1:], strict=True)
     )
     goodput_trade = all(
         c["goodput_sprac_kbps"] < c["goodput_frag_kbps"]

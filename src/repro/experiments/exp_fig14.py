@@ -69,7 +69,7 @@ def run(cache: RunCache) -> ExperimentOutput:
     plotted = {}
     for label, (lengths, tail) in series.items():
         full = np.full(xs.size, np.nan)
-        for length, t in zip(lengths, tail):
+        for length, t in zip(lengths, tail, strict=True):
             full[int(length) - 1] = t
         plotted[label] = full
     rendered = render_series(
@@ -100,7 +100,7 @@ def run(cache: RunCache) -> ExperimentOutput:
         # through the length-1 point.
         p1 = 1.0 - frac_len1
         faster = True
-        for length, t in zip(lengths, tail):
+        for length, t in zip(lengths, tail, strict=True):
             if length >= 3 and t > (p1 ** (length - 1)) * 3.0:
                 faster = False
         checks.extend(

@@ -67,7 +67,7 @@ def run(cache: RunCache) -> ExperimentOutput:
     per_load: dict[float, dict[str, list[float]]] = {
         load: {"ppr": [], "status_quo": []} for load in LOADS
     }
-    for scenario, result in _SWEEP.run(cache):
+    for _scenario, result in _SWEEP.run(cache):
         evals = labelled_evaluations(result)
         load = result.config.load_bits_per_s_per_node
         per_load[load]["ppr"].append(
@@ -88,7 +88,7 @@ def run(cache: RunCache) -> ExperimentOutput:
         gap_values = [
             p - s
             for p, s in zip(
-                per_load[load]["ppr"], per_load[load]["status_quo"]
+                per_load[load]["ppr"], per_load[load]["status_quo"], strict=True
             )
         ]
         gap_mean, gap_hw = _mean_ci(gap_values)

@@ -114,11 +114,13 @@ def register(
         if existing is not None:
             raise ValueError(
                 f"experiment {experiment_id!r} registered twice "
-                f"(first by {existing.run.__module__}, again by "
-                f"{fn.__module__})"
+                f"(first by {getattr(existing.run, '__module__', '?')}, "
+                f"again by {getattr(fn, '__module__', '?')})"
             )
         _REGISTRY[experiment_id] = spec
-        run.spec = spec
+        # function objects accept ad-hoc attributes at runtime; the
+        # stubs' Callable view does not
+        run.spec = spec  # type: ignore[attr-defined]
         return run
 
     return decorate

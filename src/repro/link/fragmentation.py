@@ -69,7 +69,7 @@ def delivered_bits_for_fragmentation(
     n = min(n_fragments, n_symbols) if n_symbols else 1
     bounds = np.linspace(0, n_symbols, n + 1).astype(int)
     delivered = 0
-    for lo, hi in zip(bounds[:-1], bounds[1:]):
+    for lo, hi in zip(bounds[:-1], bounds[1:], strict=True):
         if hi > lo and not mask[lo:hi].any():
             delivered += (hi - lo) * bits_per_symbol
     return delivered, crc_bits * n

@@ -43,7 +43,7 @@ class PartialForward:
         positions = np.asarray(self.positions, dtype=np.int64)
         symbols = np.asarray(self.symbols, dtype=np.int64)
         hints = np.asarray(self.hints, dtype=np.float64)
-        if not (positions.size == symbols.size == hints.size):
+        if positions.size != symbols.size or symbols.size != hints.size:
             raise ValueError(
                 "positions, symbols and hints must have equal sizes"
             )

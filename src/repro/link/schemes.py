@@ -70,8 +70,9 @@ class ReceivedPayload:
         self.symbols = np.asarray(self.symbols, dtype=np.int64)
         self.hints = np.asarray(self.hints, dtype=np.float64)
         self.truth = np.asarray(self.truth, dtype=np.int64)
-        if not (
-            self.symbols.shape == self.hints.shape == self.truth.shape
+        if (
+            self.symbols.shape != self.hints.shape
+            or self.hints.shape != self.truth.shape
         ):
             raise ValueError(
                 "symbols, hints and truth must have identical shapes"
@@ -211,7 +212,7 @@ class FragmentedCrcScheme(DeliveryScheme):
         # Python call (and byte loop) per fragment.
         crcs = _crc32_rows(fragments)
         pieces = []
-        for frag, crc in zip(fragments, crcs):
+        for frag, crc in zip(fragments, crcs, strict=True):
             pieces.append(frag)
             pieces.append(int(crc).to_bytes(_CRC_BYTES, "big"))
         return b"".join(pieces)
@@ -232,14 +233,14 @@ class FragmentedCrcScheme(DeliveryScheme):
         passed_all = True
         offsets = np.cumsum([0] + [s + _CRC_BYTES for s in sizes[:-1]])
         computed = _crc32_rows(
-            [wire[o : o + s] for o, s in zip(offsets, sizes)]
+            [wire[o : o + s] for o, s in zip(offsets, sizes, strict=True)]
         )
         declared = [
             int.from_bytes(wire[o + s : o + s + _CRC_BYTES], "big")
-            for o, s in zip(offsets, sizes)
+            for o, s in zip(offsets, sizes, strict=True)
         ]
         for offset, size, crc, want in zip(
-            offsets, sizes, computed, declared
+            offsets, sizes, computed, declared, strict=True
         ):
             ok = int(crc) == want
             if ok:

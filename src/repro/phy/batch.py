@@ -84,7 +84,7 @@ class BatchReceptionEngine:
         symbols, distances = self._codebook.decode_hard(fused)
         offsets = _split_offsets(sizes)
         return list(
-            zip(np.split(symbols, offsets), np.split(distances, offsets))
+            zip(np.split(symbols, offsets), np.split(distances, offsets), strict=True)
         )
 
 
@@ -133,7 +133,7 @@ def decode_samples_batch(
         DecodeResult(symbols=symbols, hints=hints)
         for symbols, hints in zip(
             np.split(fused.symbols, offsets),
-            np.split(fused.hints, offsets),
+            np.split(fused.hints, offsets), strict=True,
         )
     ]
 
@@ -274,7 +274,7 @@ class WaveformBatchEngine:
         return [
             (s, d.astype(np.float64))
             for s, d in zip(
-                np.split(symbols, offsets), np.split(dists, offsets)
+                np.split(symbols, offsets), np.split(dists, offsets), strict=True
             )
         ]
 
@@ -379,7 +379,7 @@ class WaveformBatchEngine:
             post = self.detect_batch(
                 [captures[i] for i in fallback], "postamble"
             )
-            for i, post_dets in zip(fallback, post):
+            for i, post_dets in zip(fallback, post, strict=True):
                 if not post_dets:
                     continue
                 last = max(post_dets, key=lambda d: d.sample_offset)

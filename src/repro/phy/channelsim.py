@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -49,7 +49,7 @@ def mix_transmissions(
     out = np.zeros(window_len, dtype=np.complex128)
     for t in transmissions:
         wave = np.asarray(t.samples, dtype=np.complex128)
-        if t.cfo != 0.0 or t.phase != 0.0:
+        if t.cfo or t.phase:
             n = np.arange(wave.size)
             wave = wave * np.exp(1j * (2 * np.pi * t.cfo * n + t.phase))
         end = min(t.offset + wave.size, window_len)
@@ -61,7 +61,7 @@ def mix_transmissions(
 def add_awgn(
     samples: np.ndarray,
     noise_power: float,
-    rng: int | np.random.Generator | None = None,
+    rng: RngLike = None,
 ) -> np.ndarray:
     """Add circular complex Gaussian noise of the given total power.
 
@@ -85,7 +85,7 @@ def awgn_collision_channel(
     transmissions: list[TransmissionInstance],
     noise_power: float,
     window_len: int | None = None,
-    rng: int | np.random.Generator | None = None,
+    rng: RngLike = None,
 ) -> np.ndarray:
     """Convenience: mix transmissions then add AWGN."""
     mixed = mix_transmissions(transmissions, window_len)
@@ -104,7 +104,7 @@ def fractional_delay(samples: np.ndarray, delay: float) -> np.ndarray:
     whole = int(np.floor(delay))
     frac = delay - whole
     out = np.concatenate([np.zeros(whole, dtype=np.complex128), samples])
-    if frac == 0.0:
+    if not frac:
         return out
     shifted = np.empty(out.size + 1, dtype=np.complex128)
     shifted[0] = (1 - frac) * out[0]

@@ -25,7 +25,7 @@ import numpy as np
 from scipy.special import erfc
 
 from repro.utils.bitops import pack_bits_to_uint32
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, rng_from_key
 
 
 def chip_error_probability(sinr_linear) -> np.ndarray:
@@ -81,7 +81,7 @@ def chip_error_probability_interference(snr_linear, isr_linear) -> np.ndarray:
 def transmit_chipwords(
     tx_words: np.ndarray,
     chip_error_prob,
-    rng: int | np.random.Generator | None = None,
+    rng: RngLike = None,
 ) -> np.ndarray:
     """Pass packed chip words through a BSC with per-word flip probability.
 
@@ -208,7 +208,7 @@ def transmit_chipwords_batch(
         for k in range(i, j):
             lo, hi = int(starts[k]) - g_lo, int(starts[k + 1]) - g_lo
             if hi > lo:
-                gen = np.random.Generator(np.random.Philox(key=keys[k]))
+                gen = rng_from_key(keys[k])
                 uniforms = gen.integers(
                     0, 1 << 32, size=(hi - lo, 32), dtype=np.uint32
                 )

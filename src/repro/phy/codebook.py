@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.utils.bitops import pack_bits_to_uint32, popcount32, unpack_uint32_to_bits
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 # IEEE 802.15.4-2006 Table 24 (2450 MHz O-QPSK PHY), chip sequence for
 # data symbol 0, chips c0..c31.
@@ -210,7 +210,7 @@ class RandomCodebook(Codebook):
     def __init__(
         self,
         n_symbols: int = 16,
-        rng: int | np.random.Generator | None = 0,
+        rng: RngLike = 0,
         min_distance: int = 10,
         max_tries: int = 200,
     ) -> None:

@@ -110,26 +110,35 @@ class ConvolutionalCode:
         return out
 
     def transitions(self):
-        """(next_state, output_bits) tables indexed by [state, input]."""
-        taps = [_poly_taps(g, self.constraint) for g in self.generators]
+        """(next_state, output_bits) tables indexed by [state, input].
+
+        Built as one array program over all (state, input) pairs: the
+        encoder window is ``[input] + state_bits`` MSB-first, so the
+        successor state is ``input << (K-2) | state >> 1`` and the
+        output bits are the window's dot products with the generator
+        taps mod 2.
+        """
+        taps = np.array(
+            [_poly_taps(g, self.constraint) for g in self.generators],
+            dtype=np.int64,
+        )
         n_states = self.n_states
         memory = self.constraint - 1
-        next_state = np.zeros((n_states, 2), dtype=np.int64)
-        outputs = np.zeros(
-            (n_states, 2, self.rate_inverse), dtype=np.int64
+        states = np.arange(n_states, dtype=np.int64)
+        bits = np.arange(2, dtype=np.int64)
+        shifts = memory - 1 - np.arange(memory, dtype=np.int64)
+        state_bits = (states[:, None] >> shifts) & 1
+        windows = np.concatenate(
+            [
+                np.broadcast_to(bits[None, :, None], (n_states, 2, 1)),
+                np.broadcast_to(
+                    state_bits[:, None, :], (n_states, 2, memory)
+                ),
+            ],
+            axis=2,
         )
-        for state in range(n_states):
-            state_bits = [
-                (state >> (memory - 1 - i)) & 1 for i in range(memory)
-            ]
-            for bit in (0, 1):
-                window = np.array([bit] + state_bits, dtype=np.int64)
-                outputs[state, bit] = [
-                    int(window @ tap) & 1 for tap in taps
-                ]
-                next_state[state, bit] = int(
-                    "".join(map(str, window[:-1].tolist())), 2
-                ) if memory else 0
+        outputs = (windows @ taps.T) & 1
+        next_state = (bits[None, :] << (memory - 1)) | (states[:, None] >> 1)
         return next_state, outputs
 
 
@@ -195,17 +204,19 @@ class SovaDecoder:
         so tie-breaking matches the reference decoder's scan order.
         """
         n_states = self._code.n_states
-        pred_state = np.zeros((n_states, 2), dtype=np.int64)
-        pred_bit = np.zeros((n_states, 2), dtype=np.int64)
-        fill = np.zeros(n_states, dtype=np.int64)
-        for state in range(n_states):
-            for bit in (0, 1):
-                dest = self._next_state[state, bit]
-                slot = fill[dest]
-                pred_state[dest, slot] = state
-                pred_bit[dest, slot] = bit
-                fill[dest] += 1
-        assert np.all(fill == 2), "trellis must be 2-regular"
+        # Enumerate (state, bit) pairs in the reference scan order
+        # (state-major, bit-minor) and group them by destination: a
+        # stable sort on destination keeps that order within each
+        # group, reproducing the slot filling of the scalar scan.
+        flat_state = np.repeat(np.arange(n_states, dtype=np.int64), 2)
+        flat_bit = np.tile(np.array([0, 1], dtype=np.int64), n_states)
+        dest = self._next_state.ravel()
+        assert np.all(
+            np.bincount(dest, minlength=n_states) == 2
+        ), "trellis must be 2-regular"
+        order = np.argsort(dest, kind="stable")
+        pred_state = flat_state[order].reshape(n_states, 2)
+        pred_bit = flat_bit[order].reshape(n_states, 2)
         return pred_state, pred_bit
 
     def _check_length(self, size: int) -> int:
@@ -252,7 +263,7 @@ class SovaDecoder:
         for indices in by_length.values():
             block = np.stack([arrays[i] for i in indices])
             decoded = self._decode_block(block)
-            for i, result in zip(indices, decoded):
+            for i, result in zip(indices, decoded, strict=True):
                 results[i] = result
         return results  # type: ignore[return-value]
 

@@ -187,7 +187,7 @@ class ReceiverFrontend:
         for indices in by_length.values():
             stacked = np.stack([captures[i] for i in indices])
             corr = self.correlation_batch(stacked, kind)
-            for i, row in zip(indices, corr):
+            for i, row in zip(indices, corr, strict=True):
                 results[i] = self._emit_detections(captures[i], row, kind)
         return results
 
@@ -231,7 +231,7 @@ class ReceiverFrontend:
                 f"requested chips before the capture start (sample {start})"
             )
         samples = np.asarray(samples, dtype=np.complex128)
-        if phase != 0.0:
+        if phase:
             samples = samples * np.exp(-1j * phase)
         return samples, start
 

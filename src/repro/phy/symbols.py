@@ -110,7 +110,7 @@ class SoftPacket:
         """Materialise per-symbol objects (convenience, not the fast path)."""
         return [
             SoftSymbol(int(v), float(h))
-            for v, h in zip(self.symbols, self.hints)
+            for v, h in zip(self.symbols, self.hints, strict=True)
         ]
 
     def payload_bytes(self, bits_per_symbol: int = 4) -> bytes:

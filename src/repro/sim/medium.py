@@ -22,7 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.phy.channelsim import TransmissionInstance, awgn_collision_channel
-from repro.utils.rng import derive_rng
+from repro.utils.rng import RngLike, derive_rng
 from repro.utils.units import dbm_to_mw
 
 
@@ -273,7 +273,7 @@ def waveform_capture(
     transmissions: Sequence[Transmission],
     waves: Sequence[np.ndarray],
     sample_rate: float,
-    rng: int | np.random.Generator | None = None,
+    rng: RngLike = None,
 ) -> np.ndarray:
     """One receiver's capture of (possibly colliding) transmissions.
 

@@ -66,7 +66,7 @@ def trace_deliver(
         bounds = np.linspace(0, n_symbols, n + 1).astype(int)
         delivered = 0
         all_ok = True
-        for lo, hi in zip(bounds[:-1], bounds[1:]):
+        for lo, hi in zip(bounds[:-1], bounds[1:], strict=True):
             if hi > lo and correct[lo:hi].all():
                 delivered += (hi - lo) * _BITS_PER_SYMBOL
             elif hi > lo:
@@ -131,7 +131,7 @@ def _trace_deliver_sprac(
     data_ok = np.array(
         [
             bool(correct[lo:hi].all())
-            for lo, hi in zip(bounds[:-1], bounds[1:])
+            for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
         ],
         dtype=bool,
     )
@@ -146,7 +146,7 @@ def _trace_deliver_sprac(
     delivered_bits = int(
         sum(
             (hi - lo) * _BITS_PER_SYMBOL
-            for lo, hi, ok in zip(bounds[:-1], bounds[1:], delivered)
+            for lo, hi, ok in zip(bounds[:-1], bounds[1:], delivered, strict=True)
             if ok
         )
     )
@@ -299,7 +299,7 @@ def _run_lengths(mask: np.ndarray) -> list[int]:
     padded = np.concatenate([[False], mask, [False]])
     change = np.flatnonzero(padded[1:] != padded[:-1])
     starts, ends = change[::2], change[1::2]
-    return [int(e - s) for s, e in zip(starts, ends)]
+    return [int(e - s) for s, e in zip(starts, ends, strict=True)]
 
 
 def false_alarm_rates(

@@ -449,7 +449,7 @@ class NetworkSimulation:
         overlaps = self._overlap_sets(transmissions)
         staged: list[tuple[Transmission, int, np.ndarray, np.ndarray]] = []
         p_hots: list[np.ndarray] = []
-        for tx, overlapping in zip(transmissions, overlaps):
+        for tx, overlapping in zip(transmissions, overlaps, strict=True):
             truth_words: np.ndarray | None = None
             for receiver in self._testbed.receiver_ids:
                 if receiver == tx.sender:
@@ -485,7 +485,7 @@ class NetworkSimulation:
         pendings: list[_PendingReception] = []
         offsets = np.cumsum(sizes)[:-1]
         for (tx, receiver, truth_words, hot), rx_hot in zip(
-            staged, np.split(rx_flat, offsets)
+            staged, np.split(rx_flat, offsets), strict=True
         ):
             rx_words = truth_words.copy()
             rx_words[hot] = rx_hot
@@ -580,7 +580,7 @@ class NetworkSimulation:
             )
             return [
                 self._finalize_record(pending, symbols, dists)
-                for pending, (symbols, dists) in zip(pendings, decoded)
+                for pending, (symbols, dists) in zip(pendings, decoded, strict=True)
             ]
         records = []
         empty = np.zeros(0, dtype=np.int64)

@@ -44,7 +44,7 @@ class CrcAlgorithm:
     refin: bool
     refout: bool
     xorout: int
-    _table: np.ndarray = field(default=None, repr=False, compare=False)
+    _table: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "_table", self._build_table())

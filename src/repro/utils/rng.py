@@ -34,10 +34,13 @@ remove that constraint:
 from __future__ import annotations
 
 import hashlib
+from typing import TypeAlias
 
 import numpy as np
 
-RngLike = "int | np.random.Generator | None"
+#: Anything :func:`ensure_rng` accepts: a seed, a ready generator, or
+#: ``None`` (entropy-seeded — exploratory use only).
+RngLike: TypeAlias = int | np.random.Generator | None
 
 # Philox-4x32 round constants (Salmon et al., "Parallel random numbers:
 # as easy as 1, 2, 3", SC'11): two multipliers and two Weyl increments.
@@ -48,7 +51,7 @@ _PHILOX_W1 = np.uint32(0xBB67AE85)
 _PHILOX_ROUNDS = 10
 
 
-def ensure_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
+def ensure_rng(rng: RngLike) -> np.random.Generator:
     """Return a ``Generator``: pass one through, or seed a fresh one.
 
     ``None`` yields a generator seeded from entropy — only appropriate
@@ -74,7 +77,10 @@ def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator
     """Fan ``rng`` out into ``count`` statistically independent streams."""
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
+    # every concrete SeedSequence spawns; the stubs expose only the
+    # abstract ISeedSequence
+    seqs = rng.bit_generator.seed_seq.spawn(count)  # type: ignore
+    return [np.random.default_rng(s) for s in seqs]
 
 
 # ---------------------------------------------------------------------------
@@ -104,9 +110,18 @@ def keyed_rng(seed: int, label: str, *ids: int) -> np.random.Generator:
     per-pair work can be fused into batches or sharded across worker
     processes with bit-identical results.
     """
-    return np.random.Generator(
-        np.random.Philox(key=derive_key(seed, label, *ids))
-    )
+    return rng_from_key(derive_key(seed, label, *ids))
+
+
+def rng_from_key(key: np.ndarray) -> np.random.Generator:
+    """Wrap a precomputed :func:`derive_key` key in a Philox stream.
+
+    The batched channel keeps per-(tx, receiver) keys as arrays and
+    instantiates streams lazily per group; this is the one sanctioned
+    constructor for that path, so generator construction stays
+    concentrated in this module (the RP001 contract).
+    """
+    return np.random.Generator(np.random.Philox(key=key))
 
 
 def philox4x32(counters: np.ndarray, keys: np.ndarray) -> np.ndarray:

@@ -8,22 +8,22 @@ value in the message).
 from __future__ import annotations
 
 
-def check_positive(name: str, value) -> None:
+def check_positive(name: str, value: float) -> None:
     """Raise ``ValueError`` unless ``value`` > 0."""
     if not value > 0:
         raise ValueError(f"{name} must be positive, got {value!r}")
 
 
-def check_nonneg_int(name: str, value) -> int:
+def check_nonneg_int(name: str, value: object) -> int:
     """Raise unless ``value`` is a non-negative integer; return it as int."""
-    if not isinstance(value, (int,)) or isinstance(value, bool):
+    if not isinstance(value, int) or isinstance(value, bool):
         raise ValueError(f"{name} must be an int, got {type(value).__name__}")
     if value < 0:
         raise ValueError(f"{name} must be non-negative, got {value}")
     return value
 
 
-def check_probability(name: str, value) -> float:
+def check_probability(name: str, value: float) -> float:
     """Raise unless 0 <= value <= 1; return it as float."""
     value = float(value)
     if not 0.0 <= value <= 1.0:
@@ -31,7 +31,7 @@ def check_probability(name: str, value) -> float:
     return value
 
 
-def check_in_range(name: str, value, low, high) -> None:
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
     """Raise unless low <= value <= high (inclusive both ends)."""
     if not low <= value <= high:
         raise ValueError(

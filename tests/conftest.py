@@ -12,6 +12,7 @@ import pytest
 
 from repro.phy.codebook import ZigbeeCodebook
 from repro.sim.network import NetworkSimulation, SimulationConfig
+from repro.utils.rng import ensure_rng
 
 
 @pytest.fixture(scope="session")
@@ -23,7 +24,7 @@ def codebook() -> ZigbeeCodebook:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""
-    return np.random.default_rng(12345)
+    return ensure_rng(12345)
 
 
 @pytest.fixture(scope="session")

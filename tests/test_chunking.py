@@ -19,6 +19,7 @@ from repro.arq.chunking import (
     plan_chunks,
 )
 from repro.arq.runlength import RunLengthPacket
+from repro.utils.rng import ensure_rng
 
 
 def _partition_cost(runs, groups, checksum_bits):
@@ -105,7 +106,7 @@ class TestPlanStructure:
     def test_segments_sorted_disjoint(self, rng):
         runs = _random_runs(rng, 6)
         plan = plan_chunks(runs)
-        for (s1, e1), (s2, e2) in zip(plan.segments, plan.segments[1:]):
+        for (_s1, e1), (s2, _e2) in zip(plan.segments, plan.segments[1:], strict=False):
             assert e1 <= s2
 
     def test_segments_start_end_with_bad_runs(self, rng):
@@ -152,7 +153,7 @@ class TestCostBounds:
     @given(st.integers(1, 7), st.integers(0, 10_000))
     @settings(max_examples=40, deadline=None)
     def test_dp_no_worse_than_either_extreme(self, n_bad, seed):
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         runs = _random_runs(rng, n_bad)
         plan = plan_chunks(runs, checksum_bits=8)
         assert plan.cost_bits <= chunk_cost_naive(runs, 8) + 1e-9

@@ -130,7 +130,7 @@ class TestGf256Field:
 
         xs = rng.integers(0, 256, 60)
         ys = rng.integers(0, 256, 60)
-        want = [slow_mul(int(x), int(y)) for x, y in zip(xs, ys)]
+        want = [slow_mul(int(x), int(y)) for x, y in zip(xs, ys, strict=True)]
         got = gf256_mul(
             xs.astype(np.uint8), ys.astype(np.uint8)
         ).tolist()
@@ -205,7 +205,7 @@ class TestSegmentedRlncCodec:
         for i, (lo, size) in enumerate(
             zip(
                 np.cumsum([0] + codec.segment_sizes(len(payload))[:-1]),
-                codec.segment_sizes(len(payload)),
+                codec.segment_sizes(len(payload)), strict=True,
             )
         ):
             if result.delivered[i]:
@@ -226,7 +226,7 @@ class TestSegmentedRlncCodec:
     def test_recoverable_mask_matches_decode(self, rng):
         codec = SegmentedRlncCodec(8, 4, field="gf2", seed=6)
         payload = bytes(rng.integers(0, 256, 160, dtype=np.uint8))
-        for trial in range(10):
+        for _trial in range(10):
             wire = bytearray(codec.encode(payload))
             erase = rng.random(8) < 0.4
             for idx in np.flatnonzero(erase):

@@ -104,7 +104,7 @@ class TestSovaDecoder:
         decoder = SovaDecoder(code)
         errors_soft = 0
         errors_hard = 0
-        for trial in range(20):
+        for _trial in range(20):
             bits = rng.integers(0, 2, 100)
             coded = code.encode(bits)
             clean = 1.0 - 2.0 * coded.astype(float)
@@ -122,7 +122,7 @@ class TestSovaDecoder:
         decoder = SovaDecoder(code)
         all_hints = []
         all_correct = []
-        for trial in range(10):
+        for _trial in range(10):
             bits = rng.integers(0, 2, 150)
             coded = code.encode(bits)
             clean = 1.0 - 2.0 * coded.astype(float)

@@ -20,7 +20,7 @@ _SEED = 21
 
 def _assert_results_identical(a, b) -> None:
     assert len(a.transmissions) == len(b.transmissions)
-    for ta, tb in zip(a.transmissions, b.transmissions):
+    for ta, tb in zip(a.transmissions, b.transmissions, strict=True):
         assert (ta.tx_id, ta.sender, ta.dst, ta.seq) == (
             tb.tx_id,
             tb.sender,
@@ -30,7 +30,7 @@ def _assert_results_identical(a, b) -> None:
         assert ta.start == tb.start
         assert np.array_equal(ta.symbols, tb.symbols)
     assert len(a.records) == len(b.records)
-    for ra, rb in zip(a.records, b.records):
+    for ra, rb in zip(a.records, b.records, strict=True):
         assert (ra.tx_id, ra.receiver, ra.acquired_preamble) == (
             rb.tx_id,
             rb.receiver,
@@ -73,7 +73,7 @@ class TestJobsInvariance:
         sharded = _runs(jobs=jobs)
         sharded.prefetch(_points(sharded))
         for seq_cfg, sh_cfg in zip(
-            _points(sequential), _points(sharded)
+            _points(sequential), _points(sharded), strict=True
         ):
             _assert_results_identical(
                 sequential.get(seq_cfg), sharded.get(sh_cfg)
@@ -108,7 +108,7 @@ class TestBatchDecodeInvariance:
         off = _runs(jobs=2, batch_decode=False)
         on.prefetch(_points(on))
         off.prefetch(_points(off))
-        for on_cfg, off_cfg in zip(_points(on), _points(off)):
+        for on_cfg, off_cfg in zip(_points(on), _points(off), strict=True):
             _assert_results_identical(on.get(on_cfg), off.get(off_cfg))
 
 
@@ -125,7 +125,7 @@ class TestFullConfigKey:
         # Different seeds really are different noise realisations.
         assert len(a.records) != len(b.records) or any(
             not np.array_equal(ra.body_symbols, rb.body_symbols)
-            for ra, rb in zip(a.records, b.records)
+            for ra, rb in zip(a.records, b.records, strict=True)
         )
 
     def test_equal_configs_are_one_entry(self):

@@ -15,6 +15,7 @@ from repro.phy.modulation import MskModulator
 from repro.phy.symbols import SoftPacket
 from repro.phy.timing import estimate_chip_phase
 from repro.utils.bitops import pack_bits_to_uint32
+from repro.utils.rng import ensure_rng
 
 
 class TestPpArqConvergenceProperty:
@@ -28,7 +29,7 @@ class TestPpArqConvergenceProperty:
     )
     @settings(max_examples=25, deadline=None)
     def test_one_shot_corruption_recovers_fast(self, seed, n_bytes):
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         payload = bytes(rng.integers(0, 256, n_bytes, dtype=np.uint8))
         first_call = {"done": False}
 
@@ -72,7 +73,7 @@ class TestPpArqConvergenceProperty:
         """Even when every corrupted symbol carries a *good* hint (a
         total miss storm), the gap-checksum exchange recovers the
         packet — data integrity never depends on hint quality."""
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         payload = bytes(rng.integers(0, 256, 60, dtype=np.uint8))
         calls = {"n": 0}
 
@@ -114,7 +115,7 @@ class TestTimingRecoveryEndToEnd:
     # comes from frame-sync correlation in the full receiver.
     @pytest.mark.parametrize("delay", [1.0, 2.0, 3.0, 9.0, 10.0, 11.0])
     def test_integer_sample_delays_recovered(self, codebook, delay):
-        rng = np.random.default_rng(int(delay * 10))
+        rng = ensure_rng(int(delay * 10))
         sps = 4
         symbols = rng.integers(0, 16, 40)
         wave = MskModulator(sps=sps).modulate_symbols(symbols, codebook)
@@ -144,7 +145,7 @@ class TestTimingRecoveryEndToEnd:
         """Estimating from the head and from the middle of a long
         capture gives the same chip phase — the property that lets
         rollback re-synchronise buffered samples."""
-        rng = np.random.default_rng(3)
+        rng = ensure_rng(3)
         sps = 4
         symbols = rng.integers(0, 16, 120)
         wave = MskModulator(sps=sps).modulate_symbols(symbols, codebook)

@@ -36,7 +36,7 @@ class TestFig3Module:
         assert result.experiment_id == "fig3"
         assert "stats" in result.series
         assert len(result.series["stats"]) == 3
-        for label, (c_le1, inc_le6) in result.series["stats"].items():
+        for _label, (c_le1, inc_le6) in result.series["stats"].items():
             assert 0 <= c_le1 <= 1
             assert 0 <= inc_le6 <= 1
         assert "Hamming distance" in result.rendered
@@ -46,7 +46,7 @@ class TestDeliveryModules:
     def test_fig8_series_cover_six_variants(self, tiny_runs):
         result = exp_fig8.run(tiny_runs)
         assert len(result.series) == 6
-        for label, rates in result.series.items():
+        for _label, rates in result.series.items():
             assert isinstance(rates, np.ndarray)
             if rates.size:
                 assert rates.min() >= 0 and rates.max() <= 1

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     sweep,
 )
 from repro.sim.network import SimulationConfig
+from repro.utils.rng import ensure_rng
 
 
 class TestShapeCheck:
@@ -244,12 +245,12 @@ class TestFastExperiments:
         with pytest.raises(ValueError):
             BurstyLinkChannel(
                 ZigbeeCodebook(),
-                np.random.default_rng(0),
+                ensure_rng(0),
                 burst_prob=1.5,
             )
         with pytest.raises(ValueError):
             BurstyLinkChannel(
                 ZigbeeCodebook(),
-                np.random.default_rng(0),
+                ensure_rng(0),
                 burst_frac_range=(0.5, 0.2),
             )

@@ -143,7 +143,7 @@ class TestRetransmissionRoundtrip:
         decoded = decode_retransmission(encode_retransmission(packet))
         assert decoded.seq == packet.seq
         assert decoded.segment_spans() == packet.segment_spans()
-        for a, b in zip(decoded.segments, packet.segments):
+        for a, b in zip(decoded.segments, packet.segments, strict=True):
             assert np.array_equal(a.symbols, b.symbols)
         assert decoded.gap_checksums == packet.gap_checksums
 

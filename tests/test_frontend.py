@@ -150,7 +150,7 @@ class TestBatchApi:
         for kind in ("preamble", "postamble"):
             batch = frontend.detect_batch(captures, kind)
             assert len(batch) == len(captures)
-            for capture, detections in zip(captures, batch):
+            for capture, detections in zip(captures, batch, strict=True):
                 assert detections == frontend.detect(capture, kind)
 
     def test_detect_batch_empty_list(self, frontend):
@@ -184,7 +184,7 @@ class TestBatchApi:
             ChipExtractRequest(0, 0, 320, 32, -0.9),
         ]
         batch = frontend.extract_batch(captures, requests)
-        for request, soft in zip(requests, batch):
+        for request, soft in zip(requests, batch, strict=True):
             single = frontend.soft_chips_at(
                 captures[request.capture],
                 request.anchor_sample,

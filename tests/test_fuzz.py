@@ -14,6 +14,7 @@ from repro.arq.feedback import decode_feedback, decode_retransmission
 from repro.link.frame import PprFrame, parse_body_symbols
 from repro.link.schemes import PprScheme, ReceivedPayload
 from repro.utils.bitops import BitReader
+from repro.utils.rng import ensure_rng
 
 
 class TestFrameParsingFuzz:
@@ -95,7 +96,7 @@ class TestSchemeFuzz:
     def test_ppr_delivery_invariants(self, seed, n_bytes):
         """For any channel outcome: delivered ⊆ payload, accounting
         adds up, and zero hints imply full delivery of correct bits."""
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         scheme = PprScheme(eta=6.0)
         payload = bytes(rng.integers(0, 256, n_bytes, dtype=np.uint8))
         wire = scheme.encode_payload(payload)

@@ -16,6 +16,7 @@ from repro.phy.chipchannel import transmit_chipwords
 from repro.phy.frontend import ReceiverFrontend
 from repro.phy.modulation import MskModulator
 from repro.phy.symbols import SoftPacket
+from repro.utils.rng import ensure_rng
 
 
 class TestWaveformToLinkLayer:
@@ -69,7 +70,7 @@ class TestTracesToPpArq:
         ]
         assert damaged, "heavy-load run must contain damaged receptions"
         error_masks = [~rec.payload_correct() for rec in damaged[:20]]
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         cursor = {"i": 0}
 
         def trace_channel(symbols):
@@ -117,7 +118,7 @@ class TestPhyIndependence:
     def test_pparq_over_soft_decision_hints(self, codebook):
         from repro.phy.decoder import SoftDecisionDecoder
 
-        rng = np.random.default_rng(44)
+        rng = ensure_rng(44)
         decoder = SoftDecisionDecoder(codebook)
         noise_sigma = 0.8
 
@@ -167,7 +168,7 @@ class TestAdaptiveFromChannel:
     def test_threshold_learned_from_real_hints(self, codebook):
         """Feed the adaptive learner genuine decoder output and check
         the learned threshold behaves like the paper's eta = 6."""
-        rng = np.random.default_rng(11)
+        rng = ensure_rng(11)
         adapt = AdaptiveThreshold(miss_cost=10.0)
         for _ in range(40):
             symbols = rng.integers(0, 16, 200)
@@ -189,7 +190,7 @@ class TestAdaptiveFromChannel:
     def test_learned_eta_comparable_to_paper_default(self, codebook):
         """Delivery under the learned threshold should be within a few
         percent of delivery under the paper's fixed eta = 6."""
-        rng = np.random.default_rng(13)
+        rng = ensure_rng(13)
         adapt = AdaptiveThreshold()
         records = []
         for _ in range(30):

@@ -6,6 +6,7 @@ import pytest
 from repro.sim.mac import CsmaConfig, CsmaMac
 from repro.sim.traffic import CbrSource, PoissonSource
 from repro.utils.units import dbm_to_mw
+from repro.utils.rng import ensure_rng
 
 
 class TestCsmaConfig:
@@ -25,7 +26,7 @@ class TestCsmaConfig:
 class TestCsmaMac:
     def _mac(self, **kwargs):
         cfg = CsmaConfig(**kwargs)
-        return CsmaMac(cfg, np.random.default_rng(0)), cfg
+        return CsmaMac(cfg, ensure_rng(0)), cfg
 
     def test_disabled_always_transmits(self):
         mac, _ = self._mac(enabled=False)
@@ -74,7 +75,7 @@ class TestTrafficSources:
         source = PoissonSource(
             load_bits_per_s=3500.0,
             payload_bytes=1500,
-            rng=np.random.default_rng(1),
+            rng=ensure_rng(1),
         )
         assert source.mean_interval_s == pytest.approx(1500 * 8 / 3500)
         draws = [source.next_interval() for _ in range(4000)]
@@ -83,7 +84,7 @@ class TestTrafficSources:
         )
 
     def test_poisson_validation(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         with pytest.raises(ValueError):
             PoissonSource(0, 100, rng)
         with pytest.raises(ValueError):
@@ -93,7 +94,7 @@ class TestTrafficSources:
         source = CbrSource(
             load_bits_per_s=1000.0,
             payload_bytes=125,
-            rng=np.random.default_rng(0),
+            rng=ensure_rng(0),
             jitter_fraction=0.0,
         )
         assert source.next_interval() == source.next_interval() == 1.0
@@ -102,7 +103,7 @@ class TestTrafficSources:
         source = CbrSource(
             load_bits_per_s=1000.0,
             payload_bytes=125,
-            rng=np.random.default_rng(0),
+            rng=ensure_rng(0),
             jitter_fraction=0.2,
         )
         draws = [source.next_interval() for _ in range(200)]
@@ -110,6 +111,6 @@ class TestTrafficSources:
         assert max(draws) <= 1.2
 
     def test_cbr_validation(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         with pytest.raises(ValueError):
             CbrSource(1000, 125, rng, jitter_fraction=1.0)

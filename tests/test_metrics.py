@@ -25,6 +25,7 @@ from repro.sim.metrics import (
     miss_run_length_counts,
     trace_deliver,
 )
+from repro.utils.rng import ensure_rng
 
 
 def _channel_realisation(codebook, scheme, payload, rng, burst=True):
@@ -52,9 +53,9 @@ class TestTraceDeliverEquivalence:
         ids=["packet", "ppr"],
     )
     def test_packet_and_ppr_match_real_schemes(self, codebook, scheme):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         payload = bytes(rng.integers(0, 256, 200, dtype=np.uint8))
-        for trial in range(10):
+        for _trial in range(10):
             rx = _channel_realisation(codebook, scheme, payload, rng)
             real = scheme.deliver(rx)
             n_payload_syms = 2 * len(payload)
@@ -77,7 +78,7 @@ class TestTraceDeliverEquivalence:
         """Fragment boundaries differ slightly between the on-wire
         encoding (CRCs interleaved) and the trace evaluation (payload
         only), so compare against a payload-only reference."""
-        rng = np.random.default_rng(1)
+        rng = ensure_rng(1)
         scheme = FragmentedCrcScheme(n_fragments=10)
         payload = bytes(rng.integers(0, 256, 200, dtype=np.uint8))
         truth = bytes_to_symbols(payload)
@@ -94,7 +95,7 @@ class TestTraceDeliverEquivalence:
             bounds = np.linspace(0, truth.size, 11).astype(int)
             expected = sum(
                 (hi - lo) * 4
-                for lo, hi in zip(bounds[:-1], bounds[1:])
+                for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
                 if correct[lo:hi].all()
             )
             assert result.delivered_correct_bits == expected

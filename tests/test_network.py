@@ -118,7 +118,7 @@ class TestRunStructure:
         a = NetworkSimulation(config).run()
         b = NetworkSimulation(config).run()
         assert len(a.records) == len(b.records)
-        for ra, rb in zip(a.records, b.records):
+        for ra, rb in zip(a.records, b.records, strict=True):
             assert ra.tx_id == rb.tx_id
             assert np.array_equal(ra.body_symbols, rb.body_symbols)
             assert np.array_equal(ra.body_hints, rb.body_hints)
@@ -135,7 +135,7 @@ class TestLockArbitration:
                 for r in small_sim_result.records_for_receiver(receiver)
                 if r.acquired_preamble
             ]
-            for first, second in zip(acquired, acquired[1:]):
+            for first, second in zip(acquired, acquired[1:], strict=False):
                 n_air = first.body_symbols.size + 2 * SYNC_SYMBOLS
                 first_end = first.start + n_air * period
                 assert second.start >= first_end - 1e-12

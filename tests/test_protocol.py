@@ -15,6 +15,7 @@ from repro.phy.chipchannel import transmit_chipwords
 from repro.phy.spreading import bytes_to_symbols
 from repro.phy.symbols import SoftPacket
 from repro.utils.crc import CRC32_IEEE
+from repro.utils.rng import ensure_rng
 
 
 def _soft(symbols, hints=None, truth=None):
@@ -259,8 +260,8 @@ class TestCrossComparison:
     def test_pparq_cheaper_than_full_arq(self, codebook):
         """On the same bursty channel statistics, PP-ARQ's byte cost is
         below whole-packet ARQ's — Table 1's headline claim."""
-        rng_a = np.random.default_rng(5)
-        rng_b = np.random.default_rng(5)
+        rng_a = ensure_rng(5)
+        rng_b = ensure_rng(5)
         pp = PpArqSession(_make_bursty_channel(codebook, rng_a))
         full = FullPacketArqSession(
             _make_bursty_channel(codebook, rng_b), max_attempts=200

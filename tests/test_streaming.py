@@ -6,6 +6,7 @@ import pytest
 from repro.arq.streaming import StreamingPpArqSession
 from repro.phy.chipchannel import transmit_chipwords
 from repro.phy.symbols import SoftPacket
+from repro.utils.rng import ensure_rng
 
 
 def _clean_channel(symbols):
@@ -63,7 +64,7 @@ class TestStreamingSession:
     def test_concatenation_saves_transmissions(self, codebook):
         """Pipelining with window W uses far fewer reverse-link
         transmissions than W one-at-a-time sessions (the §5.2 point)."""
-        rng = np.random.default_rng(8)
+        rng = ensure_rng(8)
         channel = _bursty_channel(codebook, rng)
         session = StreamingPpArqSession(channel, window=6)
         payloads = _payloads(rng, 12)
@@ -75,7 +76,7 @@ class TestStreamingSession:
         assert log.reverse_transmissions < sequential_reverse
 
     def test_rounds_accounted_per_packet(self, codebook):
-        rng = np.random.default_rng(9)
+        rng = ensure_rng(9)
         channel = _bursty_channel(codebook, rng, burst_prob=1.0)
         session = StreamingPpArqSession(channel, window=2)
         log = session.transfer_stream(_payloads(rng, 4))

@@ -13,6 +13,7 @@ from repro.phy.sync import (
     RollbackBuffer,
     sync_field_symbols,
 )
+from repro.utils.rng import ensure_rng
 
 
 class TestSyncFields:
@@ -127,7 +128,7 @@ class TestCorrelationSynchronizer:
         exactly like the original per-index walk."""
         sync = CorrelationSynchronizer(codebook, "preamble", threshold=0.7)
         field = codebook.encode(sync_field_symbols("preamble"))
-        for trial in range(5):
+        for _trial in range(5):
             pieces = [field]
             for _ in range(int(rng.integers(1, 4))):
                 pieces.append(codebook.encode(rng.integers(0, 16, 30)))
@@ -235,7 +236,7 @@ class TestRollbackBuffer:
             value += size
             buf.append(chunk)
             stream = np.concatenate([stream, chunk])
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         oldest = buf.oldest_available
         for _ in range(10):
             start = int(rng.integers(oldest, buf.total_written + 1))

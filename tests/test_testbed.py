@@ -10,6 +10,7 @@ from repro.sim.testbed import (
     single_link_testbed,
     wall_count_matrix,
 )
+from repro.utils.rng import ensure_rng
 
 
 class TestPaperTestbed:
@@ -92,7 +93,7 @@ class TestWallCounts:
         assert walls[0, 1] == 4
 
     def test_symmetric_zero_diagonal(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         positions = rng.uniform(0, 30, size=(6, 2))
         walls = wall_count_matrix(positions, (3, 3), (30.0, 30.0))
         assert np.array_equal(walls, walls.T)

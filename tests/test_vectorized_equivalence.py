@@ -51,6 +51,7 @@ from repro.phy.frontend import ChipExtractRequest, ReceiverFrontend
 from repro.phy.modulation import MskModulator
 from repro.phy.sync import CorrelationSynchronizer, sync_field_symbols
 from repro.sim.network import NetworkSimulation, SimulationConfig
+from repro.utils.rng import ensure_rng
 
 # Standard generator pairs per constraint length (octal), so the
 # randomized sweep exercises real codes rather than degenerate taps.
@@ -91,7 +92,7 @@ class TestSovaEquivalence:
     def test_random_generator_codes(self, constraint, rng):
         """Random valid generator sets, including rate 1/3."""
         limit = 1 << constraint
-        for trial in range(6):
+        for _trial in range(6):
             n_gens = int(rng.integers(2, 4))
             gens = tuple(
                 int(rng.integers(1, limit)) for _ in range(n_gens)
@@ -174,7 +175,7 @@ class TestSovaEquivalence:
     )
     @settings(max_examples=25, deadline=None)
     def test_equivalence_property(self, constraint, seed, noise):
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         code = ConvolutionalCode(
             generators=_GENERATORS[constraint], constraint=constraint
         )
@@ -201,7 +202,7 @@ class TestSovaBatch:
             )
         batch = decoder.decode_batch(packets)
         assert len(batch) == len(packets)
-        for llrs, result in zip(packets, batch):
+        for llrs, result in zip(packets, batch, strict=True):
             _assert_sova_equal(result, decoder.decode(llrs))
 
     def test_empty_batch(self):
@@ -235,7 +236,7 @@ class TestChunkingEquivalence:
     @given(st.integers(0, 10_000))
     @settings(max_examples=30, deadline=None)
     def test_equivalence_property(self, seed):
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         mask = rng.random(int(rng.integers(4, 120))) > 0.4
         runs = RunLengthPacket.from_labels(mask)
         vec = plan_chunks(runs, 8)
@@ -253,7 +254,7 @@ class TestBatchedDecoders:
             arrays.append(transmit_chipwords(words, 0.12, rng))
         batch = decode_words_batch(decoder, arrays)
         assert len(batch) == len(arrays)
-        for words, result in zip(arrays, batch):
+        for words, result in zip(arrays, batch, strict=True):
             single = decoder.decode_words(words)
             assert np.array_equal(result.symbols, single.symbols)
             assert np.array_equal(result.hints, single.hints)
@@ -266,7 +267,7 @@ class TestBatchedDecoders:
             clean = codebook.encode(symbols).reshape(-1, 32) * 2.0 - 1.0
             blocks.append(clean + rng.normal(0.0, 0.7, clean.shape))
         batch = decode_samples_batch(decoder, blocks)
-        for block, result in zip(blocks, batch):
+        for block, result in zip(blocks, batch, strict=True):
             single = decoder.decode_samples(block)
             assert np.array_equal(result.symbols, single.symbols)
             assert np.array_equal(result.hints, single.hints)
@@ -330,7 +331,7 @@ class TestModulatorEquivalence:
     @given(st.integers(0, 2**32 - 1), st.integers(2, 7), st.integers(0, 120))
     @settings(max_examples=25, deadline=None)
     def test_equivalence_property(self, seed, sps, half_chips):
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         mod = MskModulator(sps=sps)
         chips = rng.integers(0, 2, 2 * half_chips)
         vec = mod.modulate_chips(chips)
@@ -399,7 +400,7 @@ class TestDemodulatorEquivalence:
             (captures[1], 0, 64),
         ]
         batch = demod.demodulate_soft_batch(requests)
-        for (samples, start, n_chips), soft in zip(requests, batch):
+        for (samples, start, n_chips), soft in zip(requests, batch, strict=True):
             assert np.array_equal(
                 soft, demod.demodulate_soft(samples, start, n_chips)
             )
@@ -407,7 +408,7 @@ class TestDemodulatorEquivalence:
     @given(st.integers(0, 2**32 - 1), st.integers(2, 6), st.integers(1, 80))
     @settings(max_examples=25, deadline=None)
     def test_equivalence_property(self, seed, sps, half_chips):
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         demod = MskDemodulator(sps=sps)
         mod = MskModulator(sps=sps)
         chips = rng.integers(0, 2, 2 * half_chips)
@@ -452,7 +453,7 @@ class TestCorrelatorEquivalence:
             [self._stream(codebook, rng, at_symbol=k) for k in (5, 20, 40)]
         )
         many = sync.correlate_many(rows)
-        for row, corr in zip(rows, many):
+        for row, corr in zip(rows, many, strict=True):
             assert np.array_equal(corr, sync.correlate(row))
 
     def test_correlate_many_rejects_1d(self, codebook):
@@ -463,7 +464,7 @@ class TestCorrelatorEquivalence:
     @given(st.integers(0, 2**32 - 1))
     @settings(max_examples=15, deadline=None)
     def test_equivalence_property(self, seed):
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         codebook = ZigbeeCodebook()
         sync = CorrelationSynchronizer(codebook, "preamble")
         chips = rng.integers(0, 2, int(rng.integers(320, 1200))).astype(
@@ -507,7 +508,7 @@ class TestWaveformBatchEngineEquivalence:
         _, captures = self._ragged_captures(codebook, rng)
         batch = engine.detect_batch(captures, kind)
         assert len(batch) == len(captures)
-        for capture, detections in zip(captures, batch):
+        for capture, detections in zip(captures, batch, strict=True):
             assert detections == frontend.detect(capture, kind)
 
     def test_extract_batch_matches_single(self, frontend, codebook, rng):
@@ -519,7 +520,7 @@ class TestWaveformBatchEngineEquivalence:
             ChipExtractRequest(0, 640, 2, 100, -1.2),
         ]
         batch = frontend.extract_batch(captures, requests)
-        for request, soft in zip(requests, batch):
+        for request, soft in zip(requests, batch, strict=True):
             single = frontend.soft_chips_at(
                 captures[request.capture],
                 request.anchor_sample,
@@ -550,7 +551,7 @@ class TestWaveformBatchEngineEquivalence:
             )
         decoded = engine.decode_symbols_batch(captures, requests)
         assert len(decoded) == len(requests)
-        for request, (symbols, hints) in zip(requests, decoded):
+        for request, (symbols, hints) in zip(requests, decoded, strict=True):
             single_symbols, single_hints = frontend.decode_symbols_at(
                 captures[request.capture],
                 request.anchor_sample,
@@ -578,7 +579,7 @@ class TestWaveformBatchEngineEquivalence:
         )
         receptions = engine.receive_frames(captures, 25)
         assert len(receptions) == 4
-        for body, reception in zip(bodies, receptions[:3]):
+        for body, reception in zip(bodies, receptions[:3], strict=True):
             assert reception.acquired and not reception.via_postamble
             assert np.array_equal(reception.symbols, body)
         assert not receptions[3].acquired
@@ -659,7 +660,7 @@ class TestSimulationBatchEquivalence:
         ).run()
         assert len(batched.records) == len(unbatched.records)
         assert len(batched.records) > 0
-        for a, b in zip(batched.records, unbatched.records):
+        for a, b in zip(batched.records, unbatched.records, strict=True):
             assert (a.tx_id, a.receiver) == (b.tx_id, b.receiver)
             assert np.array_equal(a.body_symbols, b.body_symbols)
             assert np.array_equal(a.body_hints, b.body_hints)

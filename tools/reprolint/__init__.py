@@ -1,0 +1,53 @@
+"""reprolint — AST-based invariant checker for this repository.
+
+The repo's correctness story rests on conventions that ordinary test
+suites cannot enforce by construction: vectorized kernels keep loop
+``*_reference`` executable specifications pinned bit-for-bit and
+speed-gated, all randomness flows through the keyed streams of
+``repro.utils.rng``, experiment modules register exactly one
+:class:`ExperimentSpec`, and designated hot modules stay free of
+per-element Python loops over array data.  reprolint turns those
+conventions into machine-checked invariants: a small rule framework
+over stdlib :mod:`ast` (no new runtime dependencies), a
+``python -m reprolint`` CLI with text and JSON output, and per-line
+suppressions that *require* a written justification.
+
+Rules
+-----
+RP001  unkeyed randomness: ``np.random.default_rng`` /
+       ``np.random.seed`` / ``np.random.RandomState`` / stdlib
+       ``random`` anywhere outside ``utils/rng.py`` (and the
+       explicitly-exploratory ``examples/`` tree).
+RP002  kernel-twin discipline: every public ``*_reference`` function
+       must have a non-reference twin in the same module, an
+       equivalence test in ``tests/test_vectorized_equivalence.py``,
+       and a benchmark under ``benchmarks/``.
+RP003  experiment contract: every ``exp_*`` module registers exactly
+       one spec and runs nothing at import time.
+RP004  hot-path purity: no per-element Python loops over ndarrays in
+       the designated hot modules (``phy/``, ``coding/``,
+       ``sim/medium.py``).
+RP005  nondeterminism in library code: wall-clock reads
+       (``time.time``, ``datetime.now``, …) and float-literal ``==``
+       comparisons outside tests.
+RP000  meta: malformed, unjustified, unknown-rule, or unused
+       suppression comments.
+
+Suppression syntax (justification mandatory)::
+
+    risky_call()  # reprolint: disable=RP001 -- why this is safe here
+"""
+
+from reprolint.core import Checker, Finding, LintConfig, Rule
+from reprolint.rules import ALL_RULES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Checker",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "__version__",
+]

@@ -1,0 +1,106 @@
+"""``python -m reprolint`` — command-line front end.
+
+Usage::
+
+    python -m reprolint src tests                 # text report, exit 1 on findings
+    python -m reprolint src tests --format json   # machine-readable report
+    python -m reprolint src tests --json-out report.json   # always write JSON
+
+``--json-out`` writes the JSON report regardless of ``--format`` and
+of whether findings exist, so CI can upload it as a build artifact
+from both passing and failing runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from reprolint import __version__
+from reprolint.core import Checker, Finding, LintConfig
+from reprolint.rules import ALL_RULES
+
+
+def _report(
+    checker: Checker, findings: list[Finding]
+) -> dict[str, object]:
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return {
+        "tool": "reprolint",
+        "version": __version__,
+        "files_scanned": checker.files_scanned,
+        "rules": {
+            rule.rule_id: rule.title for rule in checker.rules
+        },
+        "counts": dict(sorted(counts.items())),
+        "findings": [f.to_dict() for f in findings],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant checker for this repository's "
+            "determinism, kernel-twin, and experiment contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="files or directories to scan (e.g. `src tests`)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root for cross-file rules (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="FILE",
+        default=None,
+        help="additionally write the JSON report to FILE",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"reprolint {__version__}"
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    checker = Checker(ALL_RULES, LintConfig(root=root))
+    findings = checker.run(Path(p) for p in args.paths)
+    report = _report(checker, findings)
+
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"reprolint: {len(findings)} {noun} in "
+            f"{checker.files_scanned} files"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,277 @@
+"""Rule framework: source loading, suppressions, and the checker.
+
+Everything here is deliberately stdlib-only (``ast``, ``re``,
+``pathlib``): reprolint must be runnable in any environment the test
+suite runs in, with zero new dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator
+
+#: Matches a suppression comment anywhere in a source line.  The
+#: justification after ``--`` is mandatory; :class:`Checker` reports
+#: RP000 for comments that omit it.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s*(?P<why>.*\S)?\s*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# reprolint: disable=...`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    valid: bool
+    used: bool = False
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Repository layout the cross-file rules need to know about.
+
+    Paths are POSIX-style and relative to ``root`` (the directory
+    reprolint is invoked from — the repo root in CI).
+    """
+
+    root: Path
+    #: the one module allowed to construct raw generators
+    rng_module: str = "src/repro/utils/rng.py"
+    #: explicitly-exploratory trees exempt from RP001
+    exploratory_dirs: tuple[str, ...] = ("examples",)
+    #: modules whose hot loops RP004 polices
+    hot_paths: tuple[str, ...] = (
+        "src/repro/phy",
+        "src/repro/coding",
+        "src/repro/sim/medium.py",
+    )
+    #: where RP002 expects every reference twin to be pinned
+    equivalence_test: str = "tests/test_vectorized_equivalence.py"
+    #: where RP002 expects every kernel twin to be speed-gated
+    benchmarks_dir: str = "benchmarks"
+    #: test tree (RP005's float-equality check does not apply there)
+    tests_dirs: tuple[str, ...] = ("tests",)
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus its suppression comments."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: ast.Module
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    def suppressions_at(self, line: int) -> Iterator[Suppression]:
+        for s in self.suppressions:
+            if s.line == line:
+                yield s
+
+    def is_under(self, *parts: str) -> bool:
+        """True when the module lives under any of the given
+        root-relative path prefixes (or equals one exactly)."""
+        p = PurePosixPath(self.rel)
+        for prefix in parts:
+            pre = PurePosixPath(prefix)
+            if p == pre or pre in p.parents:
+                return True
+        return False
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``title`` and override
+    :meth:`check_module` (per-file) and/or :meth:`finalize`
+    (cross-file, runs once after every module was scanned)."""
+
+    rule_id: str = "RP000"
+    title: str = ""
+
+    def check_module(
+        self, module: SourceModule, config: LintConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(
+        self, modules: list[SourceModule], config: LintConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+
+def _parse_suppressions(text: str) -> list[Suppression]:
+    out = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "reprolint" not in line:
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        why = (match.group("why") or "").strip()
+        out.append(
+            Suppression(
+                line=lineno,
+                rules=rules,
+                justification=why,
+                valid=bool(rules) and bool(why),
+            )
+        )
+    return out
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated list of
+    ``.py`` files, skipping caches and hidden directories."""
+    seen: dict[Path, None] = {}
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            seen.setdefault(path.resolve(), None)
+            continue
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                parts = sub.relative_to(path).parts
+                if any(
+                    p == "__pycache__" or p.startswith(".") for p in parts
+                ):
+                    continue
+                seen.setdefault(sub.resolve(), None)
+    return sorted(seen)
+
+
+class Checker:
+    """Load sources, run every rule, apply suppressions."""
+
+    def __init__(self, rules: Iterable[Rule], config: LintConfig) -> None:
+        self.rules = list(rules)
+        self.config = config
+        self.files_scanned = 0
+
+    def _load(self, path: Path) -> tuple[SourceModule | None, list[Finding]]:
+        rel = path.resolve().relative_to(
+            self.config.root.resolve()
+        ).as_posix()
+        text = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            return None, [
+                Finding(
+                    rule="RP000",
+                    path=rel,
+                    line=exc.lineno or 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        module = SourceModule(
+            path=path,
+            rel=rel,
+            text=text,
+            tree=tree,
+            suppressions=_parse_suppressions(text),
+        )
+        return module, []
+
+    def run(self, paths: Iterable[Path]) -> list[Finding]:
+        findings: list[Finding] = []
+        modules: list[SourceModule] = []
+        for path in collect_files(paths):
+            module, errors = self._load(path)
+            findings.extend(errors)
+            if module is not None:
+                modules.append(module)
+        self.files_scanned = len(modules)
+
+        raw: list[tuple[SourceModule | None, Finding]] = []
+        for module in modules:
+            for rule in self.rules:
+                for finding in rule.check_module(module, self.config):
+                    raw.append((module, finding))
+        by_rel = {m.rel: m for m in modules}
+        for rule in self.rules:
+            for finding in rule.finalize(modules, self.config):
+                raw.append((by_rel.get(finding.path), finding))
+
+        for module, finding in raw:
+            suppressed = False
+            if module is not None:
+                for s in module.suppressions_at(finding.line):
+                    if s.valid and finding.rule in s.rules:
+                        s.used = True
+                        suppressed = True
+            if not suppressed:
+                findings.append(finding)
+
+        known = {rule.rule_id for rule in self.rules} | {"RP000"}
+        for module in modules:
+            for s in module.suppressions:
+                if not s.rules:
+                    findings.append(
+                        Finding(
+                            "RP000",
+                            module.rel,
+                            s.line,
+                            "suppression names no rules",
+                        )
+                    )
+                elif not s.justification:
+                    findings.append(
+                        Finding(
+                            "RP000",
+                            module.rel,
+                            s.line,
+                            "suppression lacks a justification "
+                            "(use `# reprolint: disable=RULE -- why`)",
+                        )
+                    )
+                elif unknown := [r for r in s.rules if r not in known]:
+                    findings.append(
+                        Finding(
+                            "RP000",
+                            module.rel,
+                            s.line,
+                            f"suppression names unknown rule(s) "
+                            f"{', '.join(unknown)}",
+                        )
+                    )
+                elif not s.used:
+                    findings.append(
+                        Finding(
+                            "RP000",
+                            module.rel,
+                            s.line,
+                            f"unused suppression for "
+                            f"{', '.join(s.rules)} (nothing to suppress)",
+                        )
+                    )
+        findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+        return findings

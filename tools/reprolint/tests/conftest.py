@@ -1,0 +1,17 @@
+"""Make the in-repo ``reprolint`` package importable under pytest.
+
+reprolint is a repository tool, not an installed package; its tests
+run as part of tier-1, so the ``tools/`` directory goes on
+``sys.path`` here.
+"""
+
+import sys
+from pathlib import Path
+
+_TOOLS = Path(__file__).resolve().parents[2]
+if str(_TOOLS) not in sys.path:
+    sys.path.insert(0, str(_TOOLS))
+
+# The corpus contains deliberately-broken snippet trees; nothing in it
+# is a pytest module.
+collect_ignore_glob = ["corpus/*"]

@@ -1,0 +1,8 @@
+"""RP000 conforming: a justified suppression that actually suppresses."""
+
+import numpy as np
+
+
+def demo_entropy(n):
+    rng = np.random.default_rng()  # reprolint: disable=RP001 -- corpus demo
+    return rng.normal(size=n)

@@ -1,0 +1,10 @@
+"""RP000 violating: malformed, unknown, and unused suppressions."""
+
+import numpy as np
+
+
+def jitter(n):
+    rng = np.random.default_rng()  # reprolint: disable=RP001
+    total = n  # reprolint: disable=RP999 -- no such rule
+    scaled = total * 2  # reprolint: disable=RP005 -- nothing to suppress
+    return rng.normal(size=n) + scaled

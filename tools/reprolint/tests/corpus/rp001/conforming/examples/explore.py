@@ -1,0 +1,6 @@
+"""Exploratory code under examples/ is RP001-exempt by design."""
+
+import numpy as np
+
+rng = np.random.default_rng()
+samples = rng.normal(size=16)

@@ -1,0 +1,7 @@
+"""RP001 conforming: randomness arrives as a Generator argument."""
+
+from repro.utils.rng import ensure_rng
+
+
+def jitter(n, rng=None):
+    return ensure_rng(rng).normal(size=n)

@@ -1,0 +1,9 @@
+"""The one module allowed to construct raw generators (RP001-exempt)."""
+
+import numpy as np
+
+
+def ensure_rng(rng):
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -1,0 +1,10 @@
+"""RP001 violating: raw generator construction outside utils/rng."""
+
+import random
+
+import numpy as np
+
+
+def jitter(n):
+    rng = np.random.default_rng()
+    return rng.normal(size=n) + random.random()

@@ -1,0 +1,7 @@
+"""Speed gate for the vectorized ``correlate`` kernel."""
+
+from repro.phy.kern import correlate
+
+
+def bench_correlate(benchmark, taps, samples):
+    benchmark(correlate, taps, samples)

@@ -1,0 +1,17 @@
+"""RP002 conforming: reference + twin, pinned and benchmarked."""
+
+import numpy as np
+
+
+def correlate_reference(taps, samples):
+    out = []
+    for i in range(len(samples) - len(taps) + 1):
+        acc = 0.0
+        for j, tap in enumerate(taps):
+            acc += tap * samples[i + j]
+        out.append(acc)
+    return out
+
+
+def correlate(taps, samples):
+    return np.convolve(samples, taps[::-1], mode="valid")

@@ -1,0 +1,7 @@
+"""Pins ``correlate`` bit-for-bit against ``correlate_reference``."""
+
+from repro.phy.kern import correlate, correlate_reference
+
+
+def check_correlate_matches_reference(taps, samples):
+    assert list(correlate(taps, samples)) == correlate_reference(taps, samples)

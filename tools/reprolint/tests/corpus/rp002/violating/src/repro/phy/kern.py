@@ -1,0 +1,11 @@
+"""RP002 violating: a reference kernel outside the gate suite."""
+
+
+def correlate_reference(taps, samples):
+    out = []
+    for i in range(len(samples) - len(taps) + 1):
+        acc = 0.0
+        for j, tap in enumerate(taps):
+            acc += tap * samples[i + j]
+        out.append(acc)
+    return out

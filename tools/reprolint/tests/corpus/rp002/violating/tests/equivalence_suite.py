@@ -1,0 +1,3 @@
+"""An equivalence suite that forgot the new reference kernel."""
+
+unrelated = 1

@@ -1,0 +1,14 @@
+"""RP003 conforming: one lazy registration, guarded preview."""
+
+from repro.experiments.registry import register
+
+GRID = (1, 2, 3)
+
+
+@register
+def exp_clean():
+    return sum(GRID)
+
+
+if __name__ == "__main__":
+    exp_clean()

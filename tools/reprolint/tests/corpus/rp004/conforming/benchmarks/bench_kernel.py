@@ -1,0 +1,7 @@
+"""Speed gate for the vectorized ``outer_product`` kernel."""
+
+from repro.phy.kernel import outer_product
+
+
+def bench_outer_product(benchmark, a, b):
+    benchmark(outer_product, a, b)

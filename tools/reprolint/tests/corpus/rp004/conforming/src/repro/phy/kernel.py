@@ -1,0 +1,27 @@
+"""RP004 conforming: vectorized twin, reference spec, pivot loop."""
+
+import numpy as np
+
+
+def outer_product(a, b):
+    return a[:, None] * b[None, :]
+
+
+def outer_product_reference(a, b):
+    # Loops are the *specification* here: *_reference is RP004-exempt.
+    out = np.zeros((a.size, b.size))
+    for i in range(a.size):
+        for j in range(b.size):
+            out[i, j] = a[i] * b[j]
+    return out
+
+
+def eliminate(aug):
+    # Pivot-style loop: one loop variable, whole-row array ops — clean.
+    row = 0
+    for col in range(aug.shape[1]):
+        if row >= aug.shape[0] or not aug[row, col]:
+            continue
+        aug[row + 1 :] ^= np.outer(aug[row + 1 :, col], aug[row])
+        row += 1
+    return aug

@@ -1,0 +1,7 @@
+"""Pins ``outer_product`` against ``outer_product_reference``."""
+
+from repro.phy.kernel import outer_product, outer_product_reference
+
+
+def check_outer_product_matches_reference(a, b):
+    assert (outer_product(a, b) == outer_product_reference(a, b)).all()

@@ -1,0 +1,25 @@
+"""RP004 violating: per-element Python loops in a hot module."""
+
+import numpy as np
+
+
+def outer_product(a, b):
+    out = np.zeros((a.size, b.size))
+    for i in range(a.size):
+        for j in range(b.size):
+            out[i, j] = a[i] * b[j]
+    return out
+
+
+def total(grid):
+    acc = 0.0
+    for idx in np.ndindex(grid.shape):
+        acc += grid[idx]
+    return acc
+
+
+def running_max(grid):
+    best = -np.inf
+    for value in grid.flat:
+        best = max(best, value)
+    return best

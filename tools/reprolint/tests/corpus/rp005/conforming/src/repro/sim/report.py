@@ -1,0 +1,18 @@
+"""RP005 conforming: monotonic intervals, tolerant comparisons."""
+
+import math
+import time
+
+
+def timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def is_silent(level):
+    return not level
+
+
+def is_unit(gain):
+    return math.isclose(gain, 1.0)

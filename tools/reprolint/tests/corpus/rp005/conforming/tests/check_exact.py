@@ -1,0 +1,5 @@
+"""Float pinning is allowed under tests/ (RP005 exempts the suite)."""
+
+
+def check_pin(value):
+    assert value == 0.25

@@ -1,0 +1,14 @@
+"""RP005 violating: wall clocks and float-literal equality."""
+
+import time
+from datetime import datetime
+
+
+def stamp(result):
+    result["at"] = time.time()
+    result["day"] = datetime.now()
+    return result
+
+
+def is_silent(level):
+    return level == 0.0

@@ -1,0 +1,54 @@
+"""The ``python -m reprolint`` front end: exit codes and reports."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from reprolint.cli import main
+
+CORPUS = Path(__file__).resolve().parent / "corpus"
+
+
+def test_violating_tree_exits_nonzero(monkeypatch, capsys):
+    monkeypatch.chdir(CORPUS / "rp001" / "violating")
+    assert main(["src"]) == 1
+    out = capsys.readouterr().out
+    assert "RP001" in out
+    assert "2 findings" in out
+
+
+def test_conforming_tree_exits_zero(monkeypatch, capsys):
+    monkeypatch.chdir(CORPUS / "rp005" / "conforming")
+    assert main(["src", "tests"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_json_format_and_artifact(monkeypatch, capsys, tmp_path):
+    monkeypatch.chdir(CORPUS / "rp005" / "violating")
+    out_file = tmp_path / "report.json"
+    code = main(["src", "--format", "json", "--json-out", str(out_file)])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["tool"] == "reprolint"
+    assert report["counts"] == {"RP005": 3}
+    assert {f["rule"] for f in report["findings"]} == {"RP005"}
+    # --json-out writes the same report for CI artifact upload
+    assert json.loads(out_file.read_text()) == report
+
+
+def test_json_out_written_even_when_clean(monkeypatch, tmp_path, capsys):
+    monkeypatch.chdir(CORPUS / "rp001" / "conforming")
+    out_file = tmp_path / "report.json"
+    assert main(["src", "--json-out", str(out_file)]) == 0
+    report = json.loads(out_file.read_text())
+    assert report["findings"] == []
+    assert report["files_scanned"] == 2
+    capsys.readouterr()
+
+
+def test_missing_path_errors(monkeypatch):
+    monkeypatch.chdir(CORPUS)
+    with pytest.raises(SystemExit) as exc:
+        main(["no_such_dir"])
+    assert exc.value.code == 2
