@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -55,7 +56,9 @@ def _log2(value: float) -> float:
     return math.log2(value)
 
 
-def _unfold_splits(n_runs: int, split_of) -> list[tuple[int, int]]:
+def _unfold_splits(
+    n_runs: int, split_of: Callable[[int, int], int | None]
+) -> list[tuple[int, int]]:
     """Iteratively unfold a split table into the sorted chunk list.
 
     ``split_of(i, j)`` returns the DP's chosen split point for the
@@ -109,7 +112,7 @@ def plan_chunks(
         return ChunkPlan(chunks=(), segments=(), cost_bits=0.0)
 
     n_runs = runs.n_bad_runs
-    log_s = _log2(max(runs.n_symbols, 2))
+    log_syms = _log2(max(runs.n_symbols, 2))
     bits_per_symbol = 4
     good_bits = np.array(
         [g * bits_per_symbol for g in runs.good], dtype=np.int64
@@ -122,16 +125,16 @@ def plan_chunks(
     split = np.full((n_runs, n_runs), -1, dtype=np.int64)
 
     # Base cases (Eq. 4), matching the reference's operation order
-    # (log_s + log2 + min) so the floats agree to the last ulp.
+    # (log_syms + log2 + min) so the floats agree to the last ulp.
     diag = np.arange(n_runs)
     cost[diag, diag] = (
-        log_s + np.log2(np.maximum(bad, 2))
+        log_syms + np.log2(np.maximum(bad, 2))
     ) + np.minimum(good_bits, checksum_bits)
 
     # Interior-good prefix sums: sum(good_bits[i:j]) = prefix[j] -
     # prefix[i], exact in int64.
     prefix = np.concatenate([[0], np.cumsum(good_bits)])
-    two_log_s = 2 * log_s
+    two_log_syms = 2 * log_syms
 
     # Bottom-up over interval spans (Eq. 5), one diagonal per pass.
     for span in range(2, n_runs + 1):
@@ -139,7 +142,7 @@ def plan_chunks(
         j_idx = i_idx + span - 1
         # Keep c_{i,j} whole: describe one range, resend the interior
         # good runs.
-        whole = two_log_s + (prefix[j_idx] - prefix[i_idx])
+        whole = two_log_syms + (prefix[j_idx] - prefix[i_idx])
         # Split candidates k = i + m: left interval ends at k, right
         # starts at k + 1.
         m_idx = np.arange(span - 1)
@@ -181,7 +184,7 @@ def plan_chunks_reference(
         return ChunkPlan(chunks=(), segments=(), cost_bits=0.0)
 
     n_runs = runs.n_bad_runs
-    log_s = _log2(max(runs.n_symbols, 2))
+    log_syms = _log2(max(runs.n_symbols, 2))
     bits_per_symbol = 4
     good_bits = [g * bits_per_symbol for g in runs.good]
     bad = runs.bad
@@ -193,7 +196,7 @@ def plan_chunks_reference(
     # Base cases (Eq. 4).
     for i in range(n_runs):
         cost = (
-            log_s
+            log_syms
             + _log2(max(bad[i], 2))
             + min(good_bits[i], checksum_bits)
         )
@@ -205,7 +208,7 @@ def plan_chunks_reference(
             j = i + span - 1
             # Keep c_{i,j} whole: describe one range, resend the
             # interior good runs.
-            whole = 2 * log_s + sum(good_bits[i:j])
+            whole = 2 * log_syms + sum(good_bits[i:j])
             best_cost = whole
             best_split: int | None = None
             for k in range(i, j):
@@ -235,12 +238,12 @@ def chunk_cost_naive(runs: RunLengthPacket, checksum_bits: int = 32) -> float:
     """
     if runs.all_good:
         return 0.0
-    log_s = _log2(max(runs.n_symbols, 2))
+    log_syms = _log2(max(runs.n_symbols, 2))
     bits_per_symbol = 4
     total = 0.0
     for b, g in zip(runs.bad, runs.good, strict=True):
         total += (
-            log_s
+            log_syms
             + _log2(max(b, 2))
             + min(g * bits_per_symbol, checksum_bits)
         )
@@ -259,7 +262,7 @@ def merged_single_chunk_cost(
         return 0.0
     if runs.n_bad_runs == 1:
         return plan_chunks(runs, checksum_bits).cost_bits
-    log_s = _log2(max(runs.n_symbols, 2))
+    log_syms = _log2(max(runs.n_symbols, 2))
     bits_per_symbol = 4
     interior_good = sum(runs.good[:-1]) * bits_per_symbol
-    return 2 * log_s + interior_good
+    return 2 * log_syms + interior_good

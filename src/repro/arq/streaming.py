@@ -20,8 +20,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.arq.feedback import (
+    FeedbackPacket,
     encode_retransmission,
     feedback_bit_cost,
+    segment_checksum,
 )
 from repro.arq.protocol import ChannelFn, PpArqReceiver, PpArqSender
 from repro.phy.spreading import bytes_to_symbols
@@ -157,9 +159,7 @@ class StreamingPpArqSession:
                     self._receiver.receive_retransmission(response, view)
         return log
 
-    def _build_feedback(self, seq: int):
-        from repro.arq.feedback import FeedbackPacket, segment_checksum
-
+    def _build_feedback(self, seq: int) -> FeedbackPacket:
         if self._receiver.is_complete(seq):
             symbols = self._receiver.decoded_symbols(seq)
             return FeedbackPacket(

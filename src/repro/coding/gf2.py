@@ -75,15 +75,19 @@ def gf2_coefficients(
     """A keyed random ``shape`` 0/1 coefficient matrix.
 
     Drawn from the counter-based stream addressed by
-    ``(seed, label, *ids)``, so sender and receiver derive identical
-    matrices without exchanging them.  All-zero rows (probability
-    ``2**-k`` per row) would be useless equations, so they are
-    deterministically replaced by all-ones rows.
+    ``(seed, label, *ids, 2)``, so sender and receiver derive identical
+    matrices without exchanging them.  The trailing field-order
+    discriminator keeps this stream family disjoint from
+    :func:`repro.coding.gf256.gf256_coefficients` when both are called
+    with the same label and ids (a codec switching fields must not
+    reuse one stream).  All-zero rows (probability ``2**-k`` per row)
+    would be useless equations, so they are deterministically replaced
+    by all-ones rows.
     """
     m, k = shape
     if m < 0 or k <= 0:
         raise ValueError(f"shape must be (m >= 0, k >= 1), got {shape}")
-    rng = keyed_rng(seed, label, *ids)
+    rng = keyed_rng(seed, label, *ids, 2)
     coeffs = rng.integers(0, 2, size=(m, k), dtype=np.uint8)
     zero_rows = ~coeffs.any(axis=1)
     coeffs[zero_rows] = 1

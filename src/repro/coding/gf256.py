@@ -63,13 +63,15 @@ def gf256_coefficients(
     """A keyed random ``shape`` GF(256) coefficient matrix.
 
     Same addressing contract as
-    :func:`repro.coding.gf2.gf2_coefficients`; all-zero rows are
-    replaced by all-ones rows.
+    :func:`repro.coding.gf2.gf2_coefficients`, with a trailing
+    field-order discriminator of 256 (vs 2) so the two field variants
+    never draw from one stream for identical ``(seed, label, *ids)``;
+    all-zero rows are replaced by all-ones rows.
     """
     m, k = shape
     if m < 0 or k <= 0:
         raise ValueError(f"shape must be (m >= 0, k >= 1), got {shape}")
-    rng = keyed_rng(seed, label, *ids)
+    rng = keyed_rng(seed, label, *ids, 256)
     coeffs = rng.integers(0, 256, size=(m, k), dtype=np.uint8)
     zero_rows = ~coeffs.any(axis=1)
     coeffs[zero_rows] = 1

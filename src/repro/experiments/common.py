@@ -43,6 +43,7 @@ from repro.sim.network import (
     SimulationConfig,
     SimulationResult,
 )
+from repro.utils import sanitize
 
 LOAD_MODERATE = 3500.0
 LOAD_MEDIUM = 6900.0
@@ -414,7 +415,7 @@ def _preferred_mp_context() -> multiprocessing.context.BaseContext:
 
 def _simulate_config(
     config: SimulationConfig,
-) -> tuple[SimulationConfig, SimulationResult]:
+) -> tuple[SimulationConfig, SimulationResult, dict[bytes, str]]:
     """Worker body: one simulation point, start to finish.
 
     Module-level so it pickles under every start method.  Each config
@@ -422,8 +423,17 @@ def _simulate_config(
     seed and per-pair keys, never from process or execution order —
     which is what makes the fan-out deterministic for any worker
     count.
+
+    The third element is the worker's ``REPRO_SANITIZE`` stream-key
+    ledger (empty when the sanitizer is off): the parent merges every
+    shard's ledger, so one key drawn by two distinct call sites fails
+    even when the two draws happened in different worker processes.
+    Ledgers accumulate across a pooled worker's tasks — merging is
+    idempotent for same-site keys, and collisions *within* a worker
+    already raised at draw time.
     """
-    return config, NetworkSimulation(config).run()
+    result = NetworkSimulation(config).run()
+    return config, result, sanitize.ledger_snapshot()
 
 
 class RunCache:
@@ -488,7 +498,8 @@ class RunCache:
             return
         ctx = _preferred_mp_context()
         with ctx.Pool(processes=n_workers) as pool:
-            for config, result in pool.map(_simulate_config, missing):
+            for config, result, ledger in pool.map(_simulate_config, missing):
+                sanitize.merge(ledger)
                 self._cache[config] = result
 
     def get(

@@ -75,9 +75,9 @@ class BatchReceptionEngine:
         sizes = [int(np.asarray(w).size) for w in word_arrays]
         total = sum(sizes)
         if total == 0:
-            empty_s = np.zeros(0, dtype=np.int64)
+            empty_syms = np.zeros(0, dtype=np.int64)
             empty_d = np.zeros(0, dtype=np.int64)
-            return [(empty_s.copy(), empty_d.copy()) for _ in sizes]
+            return [(empty_syms.copy(), empty_d.copy()) for _ in sizes]
         fused = np.concatenate(
             [np.asarray(w, dtype=np.uint32).ravel() for w in word_arrays]
         )
@@ -351,7 +351,11 @@ class WaveformBatchEngine:
         width = self.codebook.chips_per_symbol
         sps = self._frontend.sps
 
-        def _fits(capture_len, detection, symbol_offset):
+        def _fits(
+            capture_len: int,
+            detection: SyncDetection,
+            symbol_offset: int,
+        ) -> bool:
             """Whether the body's chip span lies inside the capture."""
             start = (
                 detection.sample_offset + symbol_offset * width * sps

@@ -28,7 +28,7 @@ from repro.utils.bitops import pack_bits_to_uint32
 from repro.utils.rng import RngLike, ensure_rng, rng_from_key
 
 
-def chip_error_probability(sinr_linear) -> np.ndarray:
+def chip_error_probability(sinr_linear: float | np.ndarray) -> np.ndarray:
     """Chip flip probability for coherent MSK detection at given SINR.
 
     Per-chip detection of MSK with a matched filter behaves like
@@ -43,7 +43,9 @@ def chip_error_probability(sinr_linear) -> np.ndarray:
     return 0.5 * erfc(np.sqrt(sinr))
 
 
-def chip_error_probability_interference(snr_linear, isr_linear) -> np.ndarray:
+def chip_error_probability_interference(
+    snr_linear: float | np.ndarray, isr_linear: float | np.ndarray
+) -> np.ndarray:
     """Chip flip probability under noise *and* a co-channel interferer.
 
     Interference from another DSSS transmission is not Gaussian: each
@@ -80,7 +82,7 @@ def chip_error_probability_interference(snr_linear, isr_linear) -> np.ndarray:
 
 def transmit_chipwords(
     tx_words: np.ndarray,
-    chip_error_prob,
+    chip_error_prob: float | np.ndarray,
     rng: RngLike = None,
 ) -> np.ndarray:
     """Pass packed chip words through a BSC with per-word flip probability.

@@ -33,6 +33,7 @@ Two implementations share the decoder:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -109,7 +110,7 @@ class ConvolutionalCode:
             state = window[:-1]
         return out
 
-    def transitions(self):
+    def transitions(self) -> tuple[np.ndarray, np.ndarray]:
         """(next_state, output_bits) tables indexed by [state, input].
 
         Built as one array program over all (state, input) pairs: the
@@ -243,7 +244,9 @@ class SovaDecoder:
         self._check_length(llrs.size)
         return self._decode_block(llrs[None, :])[0]
 
-    def decode_batch(self, llrs_list) -> list[SovaResult]:
+    def decode_batch(
+        self, llrs_list: Iterable[np.ndarray]
+    ) -> list[SovaResult]:
         """Decode many packets in fused batched trellis passes.
 
         Packets of equal coded length share one forward/traceback pass

@@ -38,6 +38,8 @@ from typing import TypeAlias
 
 import numpy as np
 
+from repro.utils import sanitize
+
 #: Anything :func:`ensure_rng` accepts: a seed, a ready generator, or
 #: ``None`` (entropy-seeded — exploratory use only).
 RngLike: TypeAlias = int | np.random.Generator | None
@@ -97,6 +99,11 @@ def derive_key(seed: int, label: str, *ids: int) -> np.ndarray:
     """
     text = ":".join([str(seed), label, *(str(i) for i in ids)])
     digest = hashlib.sha256(text.encode()).digest()
+    if sanitize.enabled():
+        # Ledger the key at mint time only: downstream re-wrapping of a
+        # stored key (rng_from_key in the batched channel) reuses a
+        # stream on purpose and must not read as a second draw site.
+        sanitize.record_key(digest[:16], sanitize.call_site((__file__,)))
     return np.frombuffer(digest[:16], dtype=np.dtype("<u8")).copy()
 
 

@@ -1,0 +1,150 @@
+"""Runtime determinism sanitizer: the dynamic mirror of RP007.
+
+Enabled with ``REPRO_SANITIZE=1``, :func:`repro.utils.rng.derive_key`
+ledgers every 128-bit stream key it mints together with the source
+location that drew it.  Two *distinct* call sites producing the same
+key means two subsystems are sharing one Philox stream — exactly the
+aliasing the static RP007 rule bans, caught here even when the
+colliding ids are computed at runtime.  Drawing the same key from the
+same site is idiomatic (paired experiment configs reuse seeds on
+purpose) and passes.
+
+Worker processes each keep their own ledger;
+``repro.experiments.common._simulate_config`` snapshots it per task so
+the parent can :func:`merge` shards and catch collisions that only
+exist *across* ``--jobs`` workers.
+
+:func:`check_finite` is the companion NaN/inf canary the equivalence
+suite wraps around kernel-twin outputs: a vectorized kernel drifting
+into non-finite territory would still compare bit-equal to a reference
+with the same bug, so finiteness is asserted separately.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "NonFiniteError",
+    "StreamKeyCollisionError",
+    "call_site",
+    "check_finite",
+    "enabled",
+    "ledger_snapshot",
+    "merge",
+    "record_key",
+    "reset",
+    "suspended",
+]
+
+#: key bytes -> "path:line" of the first site that drew the key
+_LEDGER: dict[bytes, str] = {}
+_SUSPENDED = False
+
+
+class StreamKeyCollisionError(AssertionError):
+    """One 128-bit stream key was drawn from two distinct call sites."""
+
+    def __init__(self, key: bytes, first_site: str, second_site: str) -> None:
+        self.key = key
+        self.first_site = first_site
+        self.second_site = second_site
+        super().__init__(
+            f"stream key {key.hex()} drawn from two distinct call sites: "
+            f"first at {first_site}, again at {second_site} — two "
+            "subsystems are sharing one Philox stream (see RP007)"
+        )
+
+
+class NonFiniteError(AssertionError):
+    """A kernel output contained NaN or infinity."""
+
+
+def enabled() -> bool:
+    """Whether the sanitizer is armed (``REPRO_SANITIZE`` set non-zero)."""
+    if _SUSPENDED:
+        return False
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Disarm the sanitizer inside the block.
+
+    For tests whose *point* is stream identity — re-deriving a key to
+    pin its value is not a collision bug there.
+    """
+    global _SUSPENDED
+    previous = _SUSPENDED
+    _SUSPENDED = True
+    try:
+        yield
+    finally:
+        _SUSPENDED = previous
+
+
+def call_site(skip_files: tuple[str, ...]) -> str:
+    """``path:line`` of the nearest frame outside ``skip_files``.
+
+    ``skip_files`` are absolute module ``__file__`` values to step
+    over (the rng plumbing itself); identical across worker processes
+    for one checkout, so sites merge stably.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename not in skip_files and filename != __file__:
+            return f"{filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>:0"
+
+
+def record_key(key: bytes, site: str) -> None:
+    """Ledger one minted key; raise if another site drew it first."""
+    first = _LEDGER.setdefault(key, site)
+    if first != site:
+        raise StreamKeyCollisionError(key, first, site)
+
+
+def ledger_snapshot() -> dict[bytes, str]:
+    """Copy of the current process ledger (picklable, for shards)."""
+    return dict(_LEDGER)
+
+
+def merge(shard: Mapping[bytes, str]) -> None:
+    """Fold one shard's ledger into this process's ledger.
+
+    The same key from the same site (two shards simulating paired
+    configs with one seed) is fine; the same key from two sites is the
+    cross-shard collision this exists to catch.
+    """
+    for key, site in shard.items():
+        record_key(key, site)
+
+
+def reset() -> None:
+    """Clear the ledger (per-test isolation)."""
+    _LEDGER.clear()
+
+
+def check_finite(label: str, *arrays: np.ndarray) -> None:
+    """Raise :class:`NonFiniteError` if any array has NaN/inf entries.
+
+    Complex inputs are checked componentwise; integer and boolean
+    arrays pass trivially.
+    """
+    for index, array in enumerate(arrays):
+        values = np.asarray(array)
+        if values.dtype.kind not in "fc":
+            continue
+        if not np.isfinite(values).all():
+            bad = int(values.size - np.isfinite(values).sum())
+            raise NonFiniteError(
+                f"{label}: output {index} contains {bad} non-finite "
+                f"value(s) (shape {values.shape})"
+            )

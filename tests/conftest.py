@@ -12,7 +12,22 @@ import pytest
 
 from repro.phy.codebook import ZigbeeCodebook
 from repro.sim.network import NetworkSimulation, SimulationConfig
+from repro.utils import sanitize
 from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sanitizer_ledger():
+    """Per-test REPRO_SANITIZE isolation.
+
+    Distinct tests legitimately re-derive the same stream keys (each
+    pins its own expectations); the key ledger only audits draw sites
+    within one test — and, via the shard merge in ``RunCache``, within
+    one experiment run.
+    """
+    sanitize.reset()
+    yield
+    sanitize.reset()
 
 
 @pytest.fixture(scope="session")

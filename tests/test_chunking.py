@@ -24,17 +24,17 @@ from repro.utils.rng import ensure_rng
 
 def _partition_cost(runs, groups, checksum_bits):
     """Cost of an explicit partition, straight from Eqs. 4-5."""
-    log_s = math.log2(max(runs.n_symbols, 2))
+    log_syms = math.log2(max(runs.n_symbols, 2))
     total = 0.0
     for i, j in groups:
         if i == j:
             total += (
-                log_s
+                log_syms
                 + math.log2(max(runs.bad[i], 2))
                 + min(4 * runs.good[i], checksum_bits)
             )
         else:
-            total += 2 * log_s + 4 * sum(runs.good[i:j])
+            total += 2 * log_syms + 4 * sum(runs.good[i:j])
     return total
 
 

@@ -1,0 +1,154 @@
+"""Tests for the REPRO_SANITIZE runtime determinism sanitizer.
+
+The sanitizer is the dynamic mirror of the static RP007 rule: it
+ledgers every 128-bit Philox key :func:`derive_key` mints against the
+call site that drew it, and fails the moment two *distinct* sites
+produce one key — even when the colliding labels or ids only exist at
+runtime.  These tests provoke a collision on purpose and pin the
+contract details the experiment runner relies on: same-site repeats
+pass, shard merging is idempotent, and :func:`suspended` disarms the
+ledger for stream-identity tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils import sanitize
+from repro.utils.rng import derive_key
+
+
+@pytest.fixture()
+def armed(monkeypatch):
+    """Arm the sanitizer for one test (the suite may run unarmed)."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+class TestCollisionDetection:
+    def test_duplicate_key_names_both_sites(self, armed):
+        """Two distinct lines deriving one key fail, and the error
+        names both call sites so the collision is actionable."""
+        derive_key(3, "collide", 7)  # first site
+        with pytest.raises(sanitize.StreamKeyCollisionError) as excinfo:
+            derive_key(3, "collide", 7)  # second site
+        message = str(excinfo.value)
+        first_line = excinfo.value.first_site.rsplit(":", 1)[1]
+        second_line = excinfo.value.second_site.rsplit(":", 1)[1]
+        assert excinfo.value.first_site != excinfo.value.second_site
+        assert __file__ in excinfo.value.first_site
+        assert __file__ in excinfo.value.second_site
+        # Both sites appear verbatim in the message, in draw order.
+        assert f":{first_line}" in message and f":{second_line}" in message
+        assert int(second_line) > int(first_line)
+        assert "RP007" in message
+
+    def test_same_site_repeat_passes(self, armed):
+        """Paired configs re-deriving one key from one line is fine."""
+        keys = [derive_key(0, "stable", 1, 2) for _ in range(3)]
+        assert all(np.array_equal(keys[0], k) for k in keys[1:])
+
+    def test_distinct_keys_never_collide(self, armed):
+        for i in range(20):
+            derive_key(0, "fan-out", i)
+        derive_key(1, "fan-out", 0)  # distinct seed -> distinct key
+
+    def test_disarmed_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        derive_key(5, "unarmed")
+        derive_key(5, "unarmed")  # second site: no ledger, no error
+        assert not sanitize.enabled()
+        assert sanitize.ledger_snapshot() == {}
+
+    def test_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitize.enabled()
+
+    def test_suspended_disarms_and_restores(self, armed):
+        assert sanitize.enabled()
+        with sanitize.suspended():
+            assert not sanitize.enabled()
+            derive_key(9, "identity")
+            derive_key(9, "identity")  # would collide if armed
+        assert sanitize.enabled()
+        assert sanitize.ledger_snapshot() == {}
+
+
+class TestShardMerge:
+    """The --jobs path: workers return ledger snapshots, the parent
+    folds them in and catches collisions that only exist across
+    shards."""
+
+    def test_merge_same_site_is_idempotent(self, armed):
+        key = b"\x01" * 16
+        shard = {key: "worker.py:10"}
+        sanitize.merge(shard)
+        sanitize.merge(shard)  # a second worker ran the same config
+        assert sanitize.ledger_snapshot() == shard
+
+    def test_merge_cross_shard_collision_raises(self, armed):
+        key = b"\x02" * 16
+        sanitize.merge({key: "alpha.py:3"})
+        with pytest.raises(sanitize.StreamKeyCollisionError) as excinfo:
+            sanitize.merge({key: "beta.py:8"})
+        assert "alpha.py:3" in str(excinfo.value)
+        assert "beta.py:8" in str(excinfo.value)
+
+    def test_snapshot_is_a_copy(self, armed):
+        derive_key(0, "snapshot")
+        snap = sanitize.ledger_snapshot()
+        sanitize.reset()
+        assert snap and sanitize.ledger_snapshot() == {}
+
+    def test_reset_clears_ledger(self, armed):
+        derive_key(0, "reset-me")
+        sanitize.reset()
+        assert sanitize.ledger_snapshot() == {}
+        # After reset the same key from a new site is a fresh entry.
+        derive_key(0, "reset-me")
+
+
+class TestCallSite:
+    def test_reports_this_file(self):
+        site = sanitize.call_site(())
+        path, line = site.rsplit(":", 1)
+        assert path == __file__
+        assert int(line) > 0
+
+    def test_skips_listed_files(self):
+        # Skipping this very file walks up to the pytest machinery.
+        site = sanitize.call_site((__file__,))
+        assert not site.startswith(f"{__file__}:")
+
+
+class TestCheckFinite:
+    def test_finite_arrays_pass(self):
+        sanitize.check_finite(
+            "ok",
+            np.zeros(4),
+            np.ones((2, 3), dtype=np.complex128),
+            np.arange(5),
+        )
+
+    def test_nan_raises_with_label(self):
+        bad = np.array([0.0, np.nan, 1.0])
+        with pytest.raises(sanitize.NonFiniteError, match="kernel-x"):
+            sanitize.check_finite("kernel-x", bad)
+
+    def test_inf_raises(self):
+        with pytest.raises(sanitize.NonFiniteError, match="output 1"):
+            sanitize.check_finite("y", np.zeros(2), np.array([np.inf]))
+
+    def test_complex_nan_raises(self):
+        bad = np.array([1.0 + 0j, complex(np.nan, 0.0)])
+        with pytest.raises(sanitize.NonFiniteError):
+            sanitize.check_finite("z", bad)
+
+    def test_integer_and_bool_pass_trivially(self):
+        # No float interpretation: huge ints are not "inf".
+        sanitize.check_finite(
+            "ints", np.array([2**62]), np.array([True, False])
+        )
+
+    def test_counts_nonfinite_values(self):
+        bad = np.array([np.nan, np.inf, 0.0, -np.inf])
+        with pytest.raises(sanitize.NonFiniteError, match="3 non-finite"):
+            sanitize.check_finite("count", bad)

@@ -1,0 +1,113 @@
+"""Property tests for the unit-conversion helpers.
+
+The RP006 dataflow rule trusts ``utils/units.py`` as the ground truth
+for moving between log-scale and linear power; these hypothesis
+round-trips pin that the conversions actually are inverses across the
+full dynamic range the simulation uses (thermal floor near -100 dBm up
+to strong transmitters), elementwise over arrays, and mutually
+consistent (W is exactly mW / 1e3).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.units import (
+    db_to_linear,
+    dbm_to_mw,
+    dbm_to_watts,
+    linear_to_db,
+    mw_to_dbm,
+    watts_to_dbm,
+)
+
+# Conversions overflow only far outside physics: +/-250 dB spans 1e-25
+# to 1e25, generously past any link budget in the reproduction.
+_DB = st.floats(
+    min_value=-250.0, max_value=250.0, allow_nan=False, allow_infinity=False
+)
+_LIN = st.floats(
+    min_value=1e-25, max_value=1e25, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRoundTrips:
+    @given(_DB)
+    @settings(max_examples=200, deadline=None)
+    def test_db_linear_db(self, db):
+        assert np.isclose(linear_to_db(db_to_linear(db)), db, atol=1e-9)
+
+    @given(_LIN)
+    @settings(max_examples=200, deadline=None)
+    def test_linear_db_linear(self, ratio):
+        assert np.isclose(
+            db_to_linear(linear_to_db(ratio)), ratio, rtol=1e-12
+        )
+
+    @given(_DB)
+    @settings(max_examples=200, deadline=None)
+    def test_dbm_mw_dbm(self, dbm):
+        assert np.isclose(mw_to_dbm(dbm_to_mw(dbm)), dbm, atol=1e-9)
+
+    @given(_LIN)
+    @settings(max_examples=200, deadline=None)
+    def test_mw_dbm_mw(self, mw):
+        assert np.isclose(dbm_to_mw(mw_to_dbm(mw)), mw, rtol=1e-12)
+
+    @given(_DB)
+    @settings(max_examples=200, deadline=None)
+    def test_dbm_watts_dbm(self, dbm):
+        assert np.isclose(watts_to_dbm(dbm_to_watts(dbm)), dbm, atol=1e-9)
+
+
+class TestMutualConsistency:
+    @given(_DB)
+    @settings(max_examples=200, deadline=None)
+    def test_watts_is_exactly_milliwatts_scaled(self, dbm):
+        # dbm_to_watts is defined as dbm_to_mw / 1e3; pin it bitwise so
+        # the two absolute-power paths can never drift apart.
+        assert dbm_to_watts(dbm) == dbm_to_mw(dbm) / 1e3
+
+    @given(_DB)
+    @settings(max_examples=200, deadline=None)
+    def test_db_and_dbm_share_one_log_rule(self, value):
+        # A dB ratio and a dBm absolute level use the same 10*log10
+        # mapping; only the reference (unity ratio vs 1 mW) differs.
+        assert np.isclose(
+            db_to_linear(value), dbm_to_mw(value), rtol=1e-12
+        )
+
+    @given(_DB, _DB)
+    @settings(max_examples=200, deadline=None)
+    def test_log_addition_is_linear_multiplication(self, dbm, db):
+        # Applying a dB gain to a dBm level: add in log, multiply in
+        # linear — the identity RP006's `dbm + db -> dbm` rule encodes.
+        assert np.isclose(
+            dbm_to_mw(dbm + db),
+            dbm_to_mw(dbm) * db_to_linear(db),
+            rtol=1e-9,
+        )
+
+    @given(_DB)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone(self, dbm):
+        assert dbm_to_mw(dbm + 1.0) > dbm_to_mw(dbm)
+
+
+class TestArraySupport:
+    @given(st.lists(_DB, min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_elementwise_matches_scalar(self, values):
+        arr = np.array(values)
+        out = dbm_to_mw(arr)
+        assert out.shape == arr.shape
+        assert np.allclose(
+            out, [dbm_to_mw(v) for v in values], rtol=1e-12
+        )
+
+    @given(st.lists(_LIN, min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_preserves_shape(self, values):
+        arr = np.array(values).reshape(1, -1)
+        back = dbm_to_mw(mw_to_dbm(arr))
+        assert back.shape == arr.shape
+        assert np.allclose(back, arr, rtol=1e-12)

@@ -51,6 +51,7 @@ from repro.phy.frontend import ChipExtractRequest, ReceiverFrontend
 from repro.phy.modulation import MskModulator
 from repro.phy.sync import CorrelationSynchronizer, sync_field_symbols
 from repro.sim.network import NetworkSimulation, SimulationConfig
+from repro.utils import sanitize
 from repro.utils.rng import ensure_rng
 
 # Standard generator pairs per constraint length (octal), so the
@@ -67,6 +68,18 @@ _GENERATORS = {
 def _assert_sova_equal(a, b, context=""):
     assert np.array_equal(a.bits, b.bits), f"bits diverge {context}"
     assert np.array_equal(a.hints, b.hints), f"hints diverge {context}"
+
+
+def _assert_twins_finite(label, vec, ref):
+    """NaN/inf canary around a kernel-twin pair.
+
+    Bit-equality alone cannot catch a bug both twins share: a
+    vectorized kernel and its reference drifting into the same NaN
+    would still compare equal, so float outputs are additionally
+    required to be finite.  (SOVA hints are exempt — unreachable
+    competitors legitimately carry infinite margins.)
+    """
+    sanitize.check_finite(label, vec, ref)
 
 
 class TestSovaEquivalence:
@@ -309,6 +322,7 @@ class TestModulatorEquivalence:
             chips = rng.integers(0, 2, n)
             vec = mod.modulate_chips(chips)
             ref = mod.modulate_chips_reference(chips)
+            _assert_twins_finite(f"modulate_chips(sps={sps})", vec, ref)
             assert np.array_equal(
                 vec.view(np.float64), ref.view(np.float64)
             ), f"(sps={sps}, n={n})"
@@ -336,6 +350,7 @@ class TestModulatorEquivalence:
         chips = rng.integers(0, 2, 2 * half_chips)
         vec = mod.modulate_chips(chips)
         ref = mod.modulate_chips_reference(chips)
+        _assert_twins_finite("modulate_chips(property)", vec, ref)
         assert np.array_equal(vec.view(np.float64), ref.view(np.float64))
 
 
@@ -352,6 +367,9 @@ class TestDemodulatorEquivalence:
                 m = min(max(m, 0), n)
                 vec = demod.demodulate_soft(capture, start, m)
                 ref = demod.demodulate_soft_reference(capture, start, m)
+                _assert_twins_finite(
+                    f"demodulate_soft(sps={sps})", vec, ref
+                )
                 assert np.array_equal(vec, ref), (
                     f"(sps={sps}, n={n}, start={start})"
                 )
@@ -415,6 +433,7 @@ class TestDemodulatorEquivalence:
         capture = add_awgn(mod.modulate_chips(chips), 0.5, rng)
         vec = demod.demodulate_soft(capture, 0, chips.size)
         ref = demod.demodulate_soft_reference(capture, 0, chips.size)
+        _assert_twins_finite("demodulate_soft(property)", vec, ref)
         assert np.array_equal(vec, ref)
 
 
@@ -437,9 +456,10 @@ class TestCorrelatorEquivalence:
         sync = CorrelationSynchronizer(codebook, "postamble")
         chips = self._stream(codebook, rng, kind="postamble")
         soft = (chips * 2.0 - 1.0) + rng.normal(0.0, 0.6, chips.size)
-        assert np.array_equal(
-            sync.correlate(soft), sync.correlate_reference(soft)
-        )
+        vec = sync.correlate(soft)
+        ref = sync.correlate_reference(soft)
+        _assert_twins_finite("correlate(soft)", vec, ref)
+        assert np.array_equal(vec, ref)
 
     def test_short_input(self, codebook):
         sync = CorrelationSynchronizer(codebook, "preamble")

@@ -30,6 +30,17 @@ RP004  hot-path purity: no per-element Python loops over ndarrays in
 RP005  nondeterminism in library code: wall-clock reads
        (``time.time``, ``datetime.now``, …) and float-literal ``==``
        comparisons outside tests.
+RP006  unit confusion: unit tags inferred from the ``*_db`` /
+       ``*_dbm`` / ``*_mw`` / ``*_watts`` / ``*_linear`` / ``*_s`` /
+       ``*_samples`` / ``*_chips`` naming convention are propagated
+       through assignments, arithmetic, and call bindings; mixing
+       log-scale with linear power, mW with W, or seconds with
+       sample/chip counts is flagged.
+RP007  RNG stream-domain collisions: every ``derive_key`` /
+       ``keyed_rng`` call site (through forwarding wrappers) is
+       resolved to its ``(label, id-arity, literal extras)`` domain;
+       two sites sharing a domain, a non-literal label, or starred
+       ids outside a forwarder are flagged.
 RP000  meta: malformed, unjustified, unknown-rule, or unused
        suppression comments.
 
@@ -41,7 +52,7 @@ Suppression syntax (justification mandatory)::
 from reprolint.core import Checker, Finding, LintConfig, Rule
 from reprolint.rules import ALL_RULES
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ALL_RULES",

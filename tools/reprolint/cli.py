@@ -5,10 +5,25 @@ Usage::
     python -m reprolint src tests                 # text report, exit 1 on findings
     python -m reprolint src tests --format json   # machine-readable report
     python -m reprolint src tests --json-out report.json   # always write JSON
+    python -m reprolint src --select RP006,RP007  # run only these rules
+    python -m reprolint src --ignore RP004        # run all but these
 
 ``--json-out`` writes the JSON report regardless of ``--format`` and
 of whether findings exist, so CI can upload it as a build artifact
 from both passing and failing runs.
+
+``--select`` and ``--ignore`` take comma-separated rule ids and are
+mutually exclusive.  RP000 (suppression hygiene and syntax errors)
+always runs and cannot be ignored.  Suppression comments naming a
+deselected rule are neither rejected as unknown nor flagged as unused
+— their rule did not run, so they cannot be judged.
+
+Exit codes (stable contract, relied on by CI and pre-commit):
+
+* ``0`` — scan completed, no findings
+* ``1`` — scan completed, at least one finding
+* ``2`` — usage error (bad flag combination, unknown rule id,
+  missing path); nothing was scanned
 """
 
 from __future__ import annotations
@@ -41,12 +56,31 @@ def _report(
     }
 
 
+def _parse_rule_list(
+    parser: argparse.ArgumentParser, flag: str, value: str
+) -> set[str]:
+    """Split a comma-separated rule list and validate every id."""
+    rules = {r.strip() for r in value.split(",") if r.strip()}
+    if not rules:
+        parser.error(f"{flag} needs at least one rule id")
+    known = {rule.rule_id for rule in ALL_RULES} | {"RP000"}
+    if unknown := sorted(rules - known):
+        parser.error(
+            f"{flag}: unknown rule id(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return rules
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description=(
             "AST-based invariant checker for this repository's "
             "determinism, kernel-twin, and experiment contracts."
+        ),
+        epilog=(
+            "exit codes: 0 no findings, 1 findings, 2 usage error"
         ),
     )
     parser.add_argument(
@@ -71,6 +105,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="additionally write the JSON report to FILE",
     )
+    rule_filter = parser.add_mutually_exclusive_group()
+    rule_filter.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help=(
+            "comma-separated rule ids to run exclusively "
+            "(e.g. RP006,RP007); RP000 hygiene always runs"
+        ),
+    )
+    rule_filter.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip (RP000 cannot be ignored)",
+    )
     parser.add_argument(
         "--version", action="version", version=f"reprolint {__version__}"
     )
@@ -81,7 +131,23 @@ def main(argv: list[str] | None = None) -> int:
     if missing:
         parser.error(f"no such path(s): {', '.join(missing)}")
 
-    checker = Checker(ALL_RULES, LintConfig(root=root))
+    rules = list(ALL_RULES)
+    if args.select is not None:
+        selected = _parse_rule_list(parser, "--select", args.select)
+        rules = [r for r in rules if r.rule_id in selected]
+    elif args.ignore is not None:
+        ignored = _parse_rule_list(parser, "--ignore", args.ignore)
+        if "RP000" in ignored:
+            parser.error(
+                "--ignore: RP000 (suppression hygiene) cannot be ignored"
+            )
+        rules = [r for r in rules if r.rule_id not in ignored]
+
+    checker = Checker(
+        rules,
+        LintConfig(root=root),
+        known_rule_ids={rule.rule_id for rule in ALL_RULES},
+    )
     findings = checker.run(Path(p) for p in args.paths)
     report = _report(checker, findings)
 

@@ -169,12 +169,30 @@ def collect_files(paths: Iterable[Path]) -> list[Path]:
 
 
 class Checker:
-    """Load sources, run every rule, apply suppressions."""
+    """Load sources, run every rule, apply suppressions.
 
-    def __init__(self, rules: Iterable[Rule], config: LintConfig) -> None:
+    ``rules`` are the rules to *run* (possibly filtered by the CLI's
+    ``--select``/``--ignore``); ``known_rule_ids`` is the full registry
+    used to validate suppression comments.  A suppression naming a
+    known-but-deselected rule is left alone: it is not "unknown", and
+    whether it is used cannot be judged without running its rule.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule],
+        config: LintConfig,
+        known_rule_ids: Iterable[str] | None = None,
+    ) -> None:
         self.rules = list(rules)
         self.config = config
         self.files_scanned = 0
+        active = {rule.rule_id for rule in self.rules} | {"RP000"}
+        self.known_rule_ids = (
+            set(known_rule_ids) | {"RP000"}
+            if known_rule_ids is not None
+            else active
+        )
 
     def _load(self, path: Path) -> tuple[SourceModule | None, list[Finding]]:
         rel = path.resolve().relative_to(
@@ -231,7 +249,7 @@ class Checker:
             if not suppressed:
                 findings.append(finding)
 
-        known = {rule.rule_id for rule in self.rules} | {"RP000"}
+        active = {rule.rule_id for rule in self.rules} | {"RP000"}
         for module in modules:
             for s in module.suppressions:
                 if not s.rules:
@@ -253,7 +271,9 @@ class Checker:
                             "(use `# reprolint: disable=RULE -- why`)",
                         )
                     )
-                elif unknown := [r for r in s.rules if r not in known]:
+                elif unknown := [
+                    r for r in s.rules if r not in self.known_rule_ids
+                ]:
                     findings.append(
                         Finding(
                             "RP000",
@@ -263,7 +283,10 @@ class Checker:
                             f"{', '.join(unknown)}",
                         )
                     )
-                elif not s.used:
+                elif not s.used and set(s.rules) <= active:
+                    # Only judged when every named rule actually ran:
+                    # a suppression for a --select/--ignore-deselected
+                    # rule may well be load-bearing on a full run.
                     findings.append(
                         Finding(
                             "RP000",

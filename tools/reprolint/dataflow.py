@@ -1,0 +1,1109 @@
+"""Cross-module dataflow rules: unit tags and RNG stream domains.
+
+Where ``rules.py`` checks shapes a single line can betray, the two
+rules here need *dataflow*: a unit bug is a ``_db`` value flowing into
+a milliwatt sum three assignments later, and an RNG stream collision
+is two call sites in different subsystems hashing the same
+``(label, ids)`` tuple.  Both analyses are deliberately lightweight —
+forward propagation over names, arithmetic, and call bindings, no
+fixpoints over loops — tuned so the repository's real conventions
+infer cleanly with zero suppressions.
+
+RP006 — unit confusion
+    The radio model works in three coupled unit systems: log-scale
+    powers (``*_db`` relative, ``*_dbm`` absolute), linear powers
+    (``*_mw`` / ``*_watts`` / ``*_linear`` ratios), and the time axis
+    (``*_s`` seconds vs ``*_samples`` / ``*_chips`` counts).  Tags are
+    inferred from the naming convention, from ``utils/units.py``-style
+    ``x_to_y`` conversion signatures, and from the ``10*log10`` /
+    ``10**(x/10)`` idioms, then propagated through assignments,
+    arithmetic, and positional/keyword call bindings project-wide.
+    Flagged: adding log-scale to linear, adding two absolute dBm
+    powers (powers add in mW, not dB), mixing seconds with sample or
+    chip counts, mW with W, and binding an expression with one tag to
+    a parameter declaring another.
+
+RP007 — RNG stream-domain collisions
+    Every keyed Philox stream is ``derive_key(seed, label, *ids)``;
+    bit-identical multiprocess determinism (PR 2) assumes no two
+    subsystems hash the same ``(label, ids)`` tuple.  This rule
+    collects every ``derive_key`` / ``keyed_rng`` call site —
+    including through forwarding wrappers like
+    ``gf2_coefficients(seed, label, *ids)`` and calls via variables —
+    and flags two sites sharing a ``(label, arity, extras)`` domain,
+    any non-literal label, and any starred ``ids`` outside a
+    forwarder (unresolvable arity).  Tests are exempt: deliberately
+    reconstructing a key to pin its value is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from reprolint.core import Finding, LintConfig, Rule, SourceModule
+from reprolint.rules import dotted_name, import_map
+
+# ---------------------------------------------------------------------------
+# unit tags
+# ---------------------------------------------------------------------------
+
+#: log-scale power tags
+LOG_TAGS = frozenset({"db", "dbm"})
+#: linear power tags ("linear" is a dimensionless power ratio)
+LIN_TAGS = frozenset({"mw", "watts", "linear"})
+POWER_TAGS = LOG_TAGS | LIN_TAGS
+#: the time axis: wall seconds vs sample/chip counts
+TIME_TAGS = frozenset({"s", "samples", "chips"})
+ALL_TAGS = POWER_TAGS | TIME_TAGS
+
+#: tags that survive multiplicative scaling (a count times a rate is
+#: a *different* count, so samples/chips never propagate through */ )
+_SCALABLE = frozenset({"db", "dbm", "mw", "watts", "linear", "s"})
+
+#: bare names that are a unit by themselves (units.py parameter style);
+#: bare ``s``/``samples``/``chips`` are deliberately absent — short
+#: loop variables and waveform arrays use those names for *values*.
+_FULL_NAME_TAGS = {
+    "db": "db",
+    "dbm": "dbm",
+    "mw": "mw",
+    "watts": "watts",
+    "linear": "linear",
+}
+
+_SUFFIX_TAGS = {
+    "db": "db",
+    "dbm": "dbm",
+    "mw": "mw",
+    "watts": "watts",
+    "linear": "linear",
+    "s": "s",
+    "samples": "samples",
+    "chips": "chips",
+}
+
+_X_TO_Y_RE = re.compile(r"^(?P<x>.+)_to_(?P<y>[a-z0-9]+)$")
+
+#: builtins / numpy callables that return their first argument's unit
+_PASSTHROUGH = frozenset(
+    {
+        "float",
+        "int",
+        "abs",
+        "round",
+        "asarray",
+        "array",
+        "ascontiguousarray",
+        "atleast_1d",
+        "abs_",
+        "absolute",
+        "copy",
+        "full_like",
+        "broadcast_to",
+    }
+)
+#: callables whose result carries the common tag of all tagged args
+_COMBINING = frozenset({"min", "max", "maximum", "minimum", "clip", "where"})
+#: ndarray methods that keep the receiver's unit
+_METHOD_PASSTHROUGH = frozenset(
+    {"sum", "mean", "min", "max", "copy", "astype", "reshape", "ravel",
+     "squeeze", "item", "flatten", "cumsum"}
+)
+#: external modules whose attributes must not hit the project
+#: signature table (``np.correlate`` is not ``Synchronizer.correlate``)
+_EXTERNAL_HEADS = frozenset({"numpy", "math", "scipy", "builtins"})
+
+
+#: metric-prefix factors: multiplying or dividing by one of these is a
+#: deliberate scale conversion, so the operand's tag must not survive
+_SCALE_FACTORS = frozenset({1e3, 1e-3, 1e6, 1e-6, 1e9, 1e-9})
+
+
+def _scale_breaking(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and abs(float(node.value)) in _SCALE_FACTORS
+    )
+
+
+def suffix_tag(name: str) -> str | None:
+    """Unit tag a name declares through the repo naming convention.
+
+    ``snr_db`` -> ``db``; ``n_chips`` -> ``chips``; ``bits_per_s`` ->
+    ``None`` (a rate, not a duration); bare ``s`` -> ``None``.
+    """
+    name = name.lstrip("_").lower()
+    if name in _FULL_NAME_TAGS:
+        return _FULL_NAME_TAGS[name]
+    tokens = name.split("_")
+    if len(tokens) < 2:
+        return None
+    last, prev = tokens[-1], tokens[-2]
+    if prev == "per":  # bits_per_s, joules_per_mw, ...: rates
+        return None
+    return _SUFFIX_TAGS.get(last)
+
+
+def _conversion_tags(fn_name: str) -> tuple[str | None, str | None]:
+    """``(param_tag, return_tag)`` for an ``x_to_y`` conversion name.
+
+    Both sides must be power-domain unit tokens (``dbm_to_mw`` yes,
+    ``words_to_chips`` no — that converts representations, not units).
+    """
+    match = _X_TO_Y_RE.match(fn_name)
+    if match is None:
+        return None, None
+    x = match.group("x").split("_")[-1]
+    y = match.group("y")
+    if x in POWER_TAGS and y in POWER_TAGS:
+        return x, y
+    return None, None
+
+
+def return_tag_for(fn_name: str) -> str | None:
+    """Unit tag a callable's *name* promises for its return value.
+
+    Only the power domain is trusted: ``rx_power_mw`` returns mW, but
+    ``modulate_chips`` returns waveform *samples* (its suffix names
+    the input), so count suffixes never imply a return tag.
+    """
+    tag = suffix_tag(fn_name)
+    if tag in POWER_TAGS:
+        return tag
+    return _conversion_tags(fn_name)[1]
+
+
+def incompatible(a: str, b: str) -> str | None:
+    """Reason two tags must not meet in +/-/comparison, else None."""
+    if a == b:
+        return None
+    if a in LOG_TAGS and b in LOG_TAGS:
+        return None  # db/dbm relative-vs-absolute handled at Add/Sub
+    pair = {a, b}
+    if pair <= TIME_TAGS:
+        return f"seconds/sample-count confusion ({a} vs {b})"
+    if (a in POWER_TAGS) != (b in POWER_TAGS):
+        return f"power/time-axis confusion ({a} vs {b})"
+    if pair == {"mw", "watts"}:
+        return "mW/W scale confusion (convert explicitly)"
+    if (a in LOG_TAGS) != (b in LOG_TAGS):
+        return f"log-scale/linear confusion ({a} vs {b})"
+    return None  # linear vs mw/watts: ratio scaling is fine
+
+
+@dataclass(frozen=True)
+class FnSig:
+    """Unit profile of one callable: what each binding declares."""
+
+    params: tuple[tuple[str, str | None], ...]  # positional, self-less
+    kwonly: tuple[tuple[str, str | None], ...]
+    has_vararg: bool
+    has_kwarg: bool
+    returns: str | None
+
+    def param_tag(self, name: str) -> str | None:
+        for pname, tag in (*self.params, *self.kwonly):
+            if pname == name:
+                return tag
+        return None
+
+
+_AMBIGUOUS = FnSig(params=(), kwonly=(), has_vararg=True, has_kwarg=True,
+                   returns=None)
+
+
+def _function_sig(node: ast.FunctionDef, *, is_method: bool) -> FnSig:
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    if is_method and positional:
+        decorators = {
+            d.id for d in node.decorator_list if isinstance(d, ast.Name)
+        }
+        if "staticmethod" not in decorators:
+            positional = positional[1:]  # self / cls
+    conv_param, conv_return = _conversion_tags(node.name)
+    params: list[tuple[str, str | None]] = []
+    for i, arg in enumerate(positional):
+        tag = suffix_tag(arg.arg)
+        if tag is None and i == 0:
+            tag = conv_param
+        params.append((arg.arg, tag))
+    kwonly = tuple(
+        (arg.arg, suffix_tag(arg.arg)) for arg in args.kwonlyargs
+    )
+    returns = return_tag_for(node.name)
+    if returns is None:
+        returns = conv_return
+    return FnSig(
+        params=tuple(params),
+        kwonly=kwonly,
+        has_vararg=args.vararg is not None,
+        has_kwarg=args.kwarg is not None,
+        returns=returns,
+    )
+
+
+def _class_sig(node: ast.ClassDef) -> FnSig | None:
+    """Constructor profile: ``__init__`` params, else dataclass fields."""
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            return _function_sig(item, is_method=True)
+    fields = [
+        (item.target.id, suffix_tag(item.target.id))
+        for item in node.body
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name)
+    ]
+    if not fields:
+        return None
+    return FnSig(params=tuple(fields), kwonly=(), has_vararg=False,
+                 has_kwarg=False, returns=None)
+
+
+def build_signature_table(modules: list[SourceModule]) -> dict[str, FnSig]:
+    """Bare callable name -> unit profile, project-wide.
+
+    A name defined twice with *different* profiles (``decode`` on
+    several classes, say) is ambiguous and dropped — better to skip a
+    binding check than to bind against the wrong overload.
+    """
+    table: dict[str, FnSig] = {}
+    ambiguous: set[str] = set()
+
+    def record(name: str, sig: FnSig) -> None:
+        if name in ambiguous:
+            return
+        prior = table.get(name)
+        if prior is not None and prior != sig:
+            ambiguous.add(name)
+            table[name] = _AMBIGUOUS
+            return
+        table[name] = sig
+
+    def scan(body: list[ast.stmt], *, in_class: bool) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(node, ast.FunctionDef):
+                    record(node.name, _function_sig(node, is_method=in_class))
+                scan(node.body, in_class=False)
+            elif isinstance(node, ast.ClassDef):
+                sig = _class_sig(node)
+                if sig is not None:
+                    record(node.name, sig)
+                scan(node.body, in_class=True)
+
+    for module in modules:
+        scan(module.tree.body, in_class=False)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# RP006 — unit-confusion dataflow
+# ---------------------------------------------------------------------------
+
+
+class _ScopeAnalyzer:
+    """Forward tag propagation through one function (or module) body."""
+
+    def __init__(
+        self,
+        module: SourceModule,
+        table: dict[str, FnSig],
+        imports: dict[str, str],
+        findings: list[Finding],
+    ) -> None:
+        self.module = module
+        self.table = table
+        self.imports = imports
+        self.findings = findings
+        self.env: dict[str, str | None] = {}
+
+    # -- findings ----------------------------------------------------
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding("RP006", self.module.rel, node.lineno, message)
+        )
+
+    # -- statements --------------------------------------------------
+
+    def run(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are analyzed independently
+        if isinstance(stmt, ast.Assign):
+            tag = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, tag, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            tag = self.infer(stmt.value)
+            self._bind_target(stmt.target, tag, stmt.value)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            value_tag = self.infer(stmt.value)
+            if isinstance(stmt.target, (ast.Name, ast.Attribute)):
+                target_tag = self._target_tag(stmt.target)
+                if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                    self._check_add_sub(
+                        stmt, stmt.op, target_tag, value_tag
+                    )
+            return
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            self.infer(stmt.value)
+            return
+        if isinstance(stmt, ast.Expr):
+            self.infer(stmt.value)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self.infer(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, ast.For):
+            self.infer(stmt.iter)
+            for name in ast.walk(stmt.target):
+                if isinstance(name, ast.Name):
+                    self.env.pop(name.id, None)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.infer(item.context_expr)
+            self.run(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+            return
+        if isinstance(stmt, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.infer(child)
+            return
+
+    def _target_tag(self, target: ast.expr) -> str | None:
+        if isinstance(target, ast.Name):
+            return suffix_tag(target.id) or self.env.get(target.id)
+        if isinstance(target, ast.Attribute):
+            return suffix_tag(target.attr)
+        return None
+
+    def _bind_target(
+        self, target: ast.expr, tag: str | None, value: ast.expr
+    ) -> None:
+        if isinstance(target, ast.Tuple):
+            for elt in target.elts:
+                self._bind_target(elt, None, value)
+            return
+        if isinstance(target, ast.Name):
+            declared = suffix_tag(target.id)
+            if declared is not None and tag is not None:
+                reason = incompatible(declared, tag)
+                if reason is not None:
+                    self.flag(
+                        value,
+                        f"expression tagged `{tag}` assigned to "
+                        f"`{target.id}` (declares `{declared}`): {reason}",
+                    )
+            self.env[target.id] = tag if declared is None else declared
+            return
+        if isinstance(target, ast.Attribute):
+            declared = suffix_tag(target.attr)
+            if declared is not None and tag is not None:
+                reason = incompatible(declared, tag)
+                if reason is not None:
+                    self.flag(
+                        value,
+                        f"expression tagged `{tag}` assigned to "
+                        f"`.{target.attr}` (declares `{declared}`): "
+                        f"{reason}",
+                    )
+
+    # -- expressions -------------------------------------------------
+
+    def infer(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return suffix_tag(node.id) or self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value)
+            return suffix_tag(node.attr)
+        if isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Subscript):
+            tag = self.infer(node.value)
+            if not isinstance(node.slice, ast.Slice):
+                self.infer(node.slice)
+            return tag
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.Compare):
+            self._compare(node)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            a = self.infer(node.body)
+            b = self.infer(node.orelse)
+            return a if a == b else None
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.infer(elt)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value)
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            self._comprehension(node)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.infer(value.value)
+            return None
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is not None:
+                    self.infer(value)
+            return None
+        if isinstance(node, ast.Lambda):
+            return None
+        return None
+
+    def _comprehension(self, node: ast.expr) -> None:
+        # comprehension targets shadow outer names: drop their tags
+        # while visiting the element/condition expressions.
+        shadowed: dict[str, str | None] = {}
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self.infer(gen.iter)
+            for name in ast.walk(gen.target):
+                if isinstance(name, ast.Name):
+                    shadowed.setdefault(name.id, self.env.pop(name.id, None))
+        saved = {k: self.env.get(k) for k in shadowed}
+        try:
+            for gen in node.generators:  # type: ignore[attr-defined]
+                for cond in gen.ifs:
+                    self.infer(cond)
+            if isinstance(node, ast.DictComp):
+                self.infer(node.key)
+                self.infer(node.value)
+            else:
+                self.infer(node.elt)  # type: ignore[attr-defined]
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    self.env.pop(key, None)
+                else:
+                    self.env[key] = value
+
+    # -- arithmetic --------------------------------------------------
+
+    def _binop(self, node: ast.BinOp) -> str | None:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            return self._check_add_sub(node, node.op, left, right)
+        if isinstance(node.op, ast.Mult):
+            if _scale_breaking(node.left) or _scale_breaking(node.right):
+                return None  # `watts * 1e3` IS milliwatts, not watts
+            return self._mult(left, right)
+        if isinstance(node.op, ast.Div):
+            return self._div(node, left, right)
+        if isinstance(node.op, ast.Pow):
+            return self._pow(node, right)
+        if isinstance(node.op, (ast.FloorDiv, ast.Mod)):
+            return left if right is None else None
+        return None
+
+    def _check_add_sub(
+        self,
+        node: ast.AST,
+        op: ast.operator,
+        left: str | None,
+        right: str | None,
+    ) -> str | None:
+        if left is None or right is None:
+            return left or right
+        reason = incompatible(left, right)
+        if reason is not None:
+            sign = "+" if isinstance(op, ast.Add) else "-"
+            self.flag(node, f"`{left} {sign} {right}`: {reason}")
+            return None
+        if left == "dbm" and right == "dbm":
+            if isinstance(op, ast.Add):
+                self.flag(
+                    node,
+                    "`dbm + dbm`: absolute powers do not add in dB — "
+                    "convert with dbm_to_mw, sum, convert back",
+                )
+                return None
+            return "db"  # a dBm difference is a dB gap
+        if {left, right} == {"db", "dbm"}:
+            if isinstance(op, ast.Add) or left == "dbm":
+                return "dbm"  # absolute +/- relative offset
+            return None  # db - dbm: a negated link budget; untracked
+        if left == right:
+            return left
+        return None  # linear vs mw/watts: compatible but untracked
+
+    @staticmethod
+    def _mult(left: str | None, right: str | None) -> str | None:
+        tags = [t for t in (left, right) if t is not None]
+        if not tags:
+            return None
+        if len(tags) == 1:
+            return tags[0] if tags[0] in _SCALABLE else None
+        if "linear" in tags:  # ratio scaling keeps the other unit
+            other = tags[0] if tags[1] == "linear" else tags[1]
+            return other if other in _SCALABLE or other == "linear" else None
+        return None
+
+    @staticmethod
+    def _div(
+        node: ast.BinOp, left: str | None, right: str | None
+    ) -> str | None:
+        if left is not None and right is None:
+            # dividing by a bare number keeps the unit (db/10, mw/2);
+            # dividing by a *named* quantity converts it (chips/rate_hz),
+            # as does a metric-prefix constant (mw/1e3 is watts)
+            if isinstance(node.right, ast.Constant) and not _scale_breaking(
+                node.right
+            ):
+                return left if left in _SCALABLE else None
+            return None
+        if left is not None and left == right:
+            return "linear" if left in POWER_TAGS else None
+        if {left, right} == {"mw", "linear"}:
+            return "mw" if left == "mw" else None
+        return None
+
+    def _pow(self, node: ast.BinOp, exponent: str | None) -> str | None:
+        base = node.left
+        if isinstance(base, ast.Constant) and base.value in (10, 10.0):
+            if exponent == "db":
+                return "linear"
+            if exponent == "dbm":
+                return "mw"
+        return None
+
+    def _compare(self, node: ast.Compare) -> None:
+        tags = [self.infer(node.left)]
+        tags.extend(self.infer(comp) for comp in node.comparators)
+        for (a, b), op in zip(
+            zip(tags, tags[1:], strict=False), node.ops, strict=False
+        ):
+            if a is None or b is None:
+                continue
+            reason = incompatible(a, b)
+            if reason is not None:
+                self.flag(node, f"comparison of `{a}` with `{b}`: {reason}")
+            elif {a, b} == {"db", "dbm"}:
+                self.flag(
+                    node,
+                    "comparison of `db` with `dbm`: relative gain vs "
+                    "absolute power",
+                )
+
+    # -- calls -------------------------------------------------------
+
+    def _call(self, node: ast.Call) -> str | None:
+        arg_tags = [
+            None if isinstance(arg, ast.Starred) else self.infer(arg)
+            for arg in node.args
+        ]
+        kw_tags = {
+            kw.arg: self.infer(kw.value)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.infer(kw.value)
+
+        dotted = dotted_name(node.func, self.imports)
+        head = dotted.split(".")[0] if dotted else None
+        bare = None
+        if isinstance(node.func, ast.Name):
+            bare = self.imports.get(node.func.id, node.func.id).split(".")[-1]
+        elif isinstance(node.func, ast.Attribute):
+            bare = node.func.attr
+            self.infer(node.func.value)
+        if bare is None:
+            return None
+
+        external = head in _EXTERNAL_HEADS
+        if bare == "log10":
+            arg = arg_tags[0] if arg_tags else None
+            if arg in ("mw", "watts"):
+                return "dbm"
+            if arg == "linear":
+                return "db"
+            return None
+        if bare == "power" and external and len(node.args) == 2:
+            base = node.args[0]
+            if isinstance(base, ast.Constant) and base.value in (10, 10.0):
+                if arg_tags[1] == "db":
+                    return "linear"
+                if arg_tags[1] == "dbm":
+                    return "mw"
+            return None
+        if bare in _PASSTHROUGH:
+            return arg_tags[0] if arg_tags else None
+        if bare in _COMBINING:
+            tags = {t for t in (*arg_tags, *kw_tags.values()) if t is not None}
+            return tags.pop() if len(tags) == 1 else None
+        if (
+            isinstance(node.func, ast.Attribute)
+            and bare in _METHOD_PASSTHROUGH
+            and not external
+        ):
+            return self.infer(node.func.value)
+
+        if external:
+            return None
+        sig = self.table.get(bare)
+        if sig is None or sig is _AMBIGUOUS:
+            return return_tag_for(bare)
+        self._check_bindings(node, sig, arg_tags, kw_tags)
+        return sig.returns if sig.returns is not None else return_tag_for(bare)
+
+    def _check_bindings(
+        self,
+        node: ast.Call,
+        sig: FnSig,
+        arg_tags: list[str | None],
+        kw_tags: dict[str, str | None],
+    ) -> None:
+        if any(isinstance(arg, ast.Starred) for arg in node.args) or any(
+            kw.arg is None for kw in node.keywords
+        ):
+            return  # cannot bind positionally through */**
+        if len(arg_tags) > len(sig.params) and not sig.has_vararg:
+            return  # wrong table entry (arity mismatch); do not guess
+        for (pname, ptag), atag, arg in zip(
+            sig.params, arg_tags, node.args, strict=False
+        ):
+            self._check_one_binding(arg, pname, ptag, atag)
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            atag = kw_tags.get(kw.arg)
+            ptag = sig.param_tag(kw.arg)
+            self._check_one_binding(kw.value, kw.arg, ptag, atag)
+
+    def _check_one_binding(
+        self,
+        arg: ast.expr,
+        pname: str,
+        ptag: str | None,
+        atag: str | None,
+    ) -> None:
+        if ptag is None or atag is None:
+            return
+        reason = incompatible(ptag, atag)
+        if reason is None and {ptag, atag} == {"db", "dbm"}:
+            reason = "relative gain vs absolute power"
+        if reason is not None:
+            self.flag(
+                arg,
+                f"argument tagged `{atag}` bound to parameter "
+                f"`{pname}` (declares `{ptag}`): {reason}",
+            )
+
+
+class UnitConfusion(Rule):
+    """dB/dBm/mW and seconds/sample-count mixing, tracked as dataflow.
+
+    The paper's capture and preamble-detection behaviour is a function
+    of SINR comparisons; one dB value summed into a milliwatt total
+    (or a carrier-sense threshold compared across scales) biases every
+    delivery curve without failing any test.  See the module docstring
+    for the tag system and ``README.md`` for the naming convention the
+    tags are inferred from.
+    """
+
+    rule_id = "RP006"
+    title = "unit confusion in tagged dataflow"
+
+    def finalize(
+        self, modules: list[SourceModule], config: LintConfig
+    ) -> Iterator[Finding]:
+        table = build_signature_table(modules)
+        for module in modules:
+            findings: list[Finding] = []
+            imports = import_map(module.tree)
+
+            def analyze(body: list[ast.stmt], env: dict[str, str | None],
+                        module: SourceModule = module,
+                        imports: dict[str, str] = imports,
+                        findings: list[Finding] = findings) -> None:
+                scope = _ScopeAnalyzer(module, table, imports, findings)
+                scope.env.update(env)
+                scope.run(body)
+
+            analyze(module.tree.body, {})
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    env: dict[str, str | None] = {}
+                    args = node.args
+                    for arg in (
+                        *args.posonlyargs,
+                        *args.args,
+                        *args.kwonlyargs,
+                    ):
+                        tag = suffix_tag(arg.arg)
+                        if tag is not None:
+                            env[arg.arg] = tag
+                    conv_param, _ = _conversion_tags(node.name)
+                    positional = [*args.posonlyargs, *args.args]
+                    if conv_param is not None and positional:
+                        first = positional[0].arg
+                        if first not in ("self", "cls"):
+                            env.setdefault(first, conv_param)
+                        elif len(positional) > 1:
+                            env.setdefault(positional[1].arg, conv_param)
+                    analyze(node.body, env)
+            seen: set[tuple[int, str]] = set()
+            for finding in findings:
+                key = (finding.line, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding
+
+
+# ---------------------------------------------------------------------------
+# RP007 — RNG stream-domain collisions
+# ---------------------------------------------------------------------------
+
+#: the keyed-stream constructors in utils/rng.py: (seed, label, *ids)
+_BASE_ENTRY_POINTS = ("derive_key", "keyed_rng")
+#: ids position in the (seed, label, *ids) calling convention
+_IDS_START = 2
+
+
+@dataclass(frozen=True)
+class _EntryPoint:
+    """One callable whose calls mint stream keys.
+
+    ``extras`` are literal ids a forwarding wrapper appends before
+    delegating (``gf2_coefficients`` appending a field discriminator):
+    they are part of the hashed tuple, so they are part of the domain.
+    """
+
+    name: str
+    extras: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _CallSite:
+    path: str
+    line: int
+    label: str
+    arity: int
+    extras: tuple[int, ...]
+
+
+def _literal_int(node: ast.expr) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _callee_bare(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class StreamDomainCollision(Rule):
+    """Two call sites must never share one ``derive_key`` domain.
+
+    ``derive_key(seed, label, *ids)`` hashes ``(seed, label, ids...)``;
+    the determinism contract assumes every subsystem draws from its
+    own stream family.  Two sites with the same label and id-arity can
+    collide for *some* id values — which manifests as two "independent"
+    noise processes that are secretly identical (exactly the
+    gf2/gf256 coefficient aliasing this rule first caught).  Forwarding
+    wrappers — a ``label`` parameter plus a ``*ids`` vararg passed
+    through verbatim, optionally with appended literal discriminators —
+    are resolved transitively, so their *outer* call sites are the
+    audited ones.  The runtime mirror of this rule is the
+    ``REPRO_SANITIZE=1`` key ledger in ``repro.utils.sanitize``.
+    """
+
+    rule_id = "RP007"
+    title = "RNG stream-domain collision"
+
+    def finalize(
+        self, modules: list[SourceModule], config: LintConfig
+    ) -> Iterator[Finding]:
+        entries, internal_sites = self._resolve_forwarders(modules)
+        sites: list[_CallSite] = []
+        for module in modules:
+            if module.is_under(*config.tests_dirs) or module.is_under(
+                *config.exploratory_dirs
+            ):
+                continue
+            yield from self._scan_module(module, entries, internal_sites, sites)
+
+        by_domain: dict[tuple[str, int, tuple[int, ...]], list[_CallSite]] = {}
+        for site in sorted(sites, key=lambda s: (s.path, s.line)):
+            by_domain.setdefault(
+                (site.label, site.arity, site.extras), []
+            ).append(site)
+        for (label, arity, _extras), domain_sites in by_domain.items():
+            distinct: list[_CallSite] = []
+            for site in domain_sites:
+                if not any(
+                    d.path == site.path and d.line == site.line
+                    for d in distinct
+                ):
+                    distinct.append(site)
+            first = distinct[0]
+            for site in distinct[1:]:
+                yield Finding(
+                    self.rule_id,
+                    site.path,
+                    site.line,
+                    f"stream domain (label '{label}', {arity} ids) is "
+                    f"also drawn at {first.path}:{first.line}; two call "
+                    "sites sharing one key family can alias — add a "
+                    "distinguishing label or literal id",
+                )
+
+    # -- forwarder resolution -----------------------------------------
+
+    def _resolve_forwarders(
+        self, modules: list[SourceModule]
+    ) -> tuple[dict[str, _EntryPoint], set[tuple[str, int]]]:
+        entries: dict[str, _EntryPoint] = {
+            name: _EntryPoint(name, ()) for name in _BASE_ENTRY_POINTS
+        }
+        internal: set[tuple[str, int]] = set()
+        defs: list[tuple[SourceModule, ast.FunctionDef]] = [
+            (module, node)
+            for module in modules
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.FunctionDef)
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for module, node in defs:
+                hit = self._forwarding_call(node, entries)
+                if hit is None:
+                    continue
+                call, extras = hit
+                internal.add((module.rel, call.lineno))
+                if node.name not in entries:
+                    # keyed_rng itself forwards to derive_key: base
+                    # entries get their internal site exempted too.
+                    entries[node.name] = _EntryPoint(node.name, extras)
+                    changed = True
+        return entries, internal
+
+    @staticmethod
+    def _forwarding_call(
+        node: ast.FunctionDef, entries: dict[str, _EntryPoint]
+    ) -> tuple[ast.Call, tuple[int, ...]] | None:
+        """The delegating call inside a forwarder, if this is one.
+
+        A forwarder takes ``label`` and ``*ids`` and passes both
+        verbatim to a known entry point, optionally appending literal
+        int ids:  ``def f(seed, label, *ids, ...): ...
+        entry(seed, label, *ids, 2)``.
+        """
+        args = node.args
+        param_names = {a.arg for a in (*args.posonlyargs, *args.args)}
+        if "label" not in param_names or args.vararg is None:
+            return None
+        vararg = args.vararg.arg
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            bare = _callee_bare(call)
+            if bare is None or bare not in entries:
+                continue
+            if len(call.args) < _IDS_START + 1:
+                continue
+            label_arg = call.args[1]
+            if not (
+                isinstance(label_arg, ast.Name) and label_arg.id == "label"
+            ):
+                continue
+            star = call.args[_IDS_START]
+            if not (
+                isinstance(star, ast.Starred)
+                and isinstance(star.value, ast.Name)
+                and star.value.id == vararg
+            ):
+                continue
+            appended = [_literal_int(a) for a in call.args[_IDS_START + 1:]]
+            if any(a is None for a in appended):
+                continue
+            extras = entries[bare].extras + tuple(
+                a for a in appended if a is not None
+            )
+            return call, extras
+        return None
+
+    # -- per-module call-site scan -------------------------------------
+
+    def _scan_module(
+        self,
+        module: SourceModule,
+        entries: dict[str, _EntryPoint],
+        internal_sites: set[tuple[str, int]],
+        sites: list[_CallSite],
+    ) -> Iterator[Finding]:
+        aliases = self._entry_aliases(module, entries)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidates = self._candidates(node, entries, aliases)
+            if not candidates:
+                continue
+            if (module.rel, node.lineno) in internal_sites:
+                continue
+            yield from self._scan_site(module, node, candidates, sites)
+
+    @staticmethod
+    def _entry_aliases(
+        module: SourceModule, entries: dict[str, _EntryPoint]
+    ) -> dict[str, tuple[str, ...]]:
+        """Local names bound to entry points (``make = gf2 if .. else gf256``)."""
+        aliases: dict[str, tuple[str, ...]] = {}
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            names: list[ast.expr]
+            if isinstance(value, ast.IfExp):
+                names = [value.body, value.orelse]
+            else:
+                names = [value]
+            resolved = tuple(
+                n.id
+                for n in names
+                if isinstance(n, ast.Name) and n.id in entries
+            )
+            if resolved and len(resolved) == len(names):
+                aliases[target.id] = resolved
+        return aliases
+
+    @staticmethod
+    def _candidates(
+        node: ast.Call,
+        entries: dict[str, _EntryPoint],
+        aliases: dict[str, tuple[str, ...]],
+    ) -> tuple[_EntryPoint, ...]:
+        bare = _callee_bare(node)
+        if bare is None:
+            return ()
+        if bare in entries:
+            return (entries[bare],)
+        if isinstance(node.func, ast.Name) and bare in aliases:
+            return tuple(entries[name] for name in aliases[bare])
+        return ()
+
+    def _scan_site(
+        self,
+        module: SourceModule,
+        node: ast.Call,
+        candidates: tuple[_EntryPoint, ...],
+        sites: list[_CallSite],
+    ) -> Iterator[Finding]:
+        label_node: ast.expr | None = None
+        if len(node.args) >= _IDS_START:
+            label_node = node.args[1]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "label":
+                    label_node = kw.value
+        if label_node is None:
+            return
+        if not (
+            isinstance(label_node, ast.Constant)
+            and isinstance(label_node.value, str)
+        ):
+            yield Finding(
+                self.rule_id,
+                module.rel,
+                node.lineno,
+                "stream label is not a string literal; the domain this "
+                "site draws from cannot be audited — inline the label "
+                "(or add ids) at the call site",
+            )
+            return
+        ids = node.args[_IDS_START:]
+        if any(isinstance(arg, ast.Starred) for arg in ids):
+            yield Finding(
+                self.rule_id,
+                module.rel,
+                node.lineno,
+                "starred ids make this site's key arity unresolvable; "
+                "only a forwarding wrapper (label + *ids passed "
+                "verbatim) may do this",
+            )
+            return
+        domains: set[tuple[str, int, tuple[int, ...]]] = set()
+        for entry in candidates:
+            domain = (
+                label_node.value,
+                len(ids) + len(entry.extras),
+                entry.extras,
+            )
+            if domain in domains:
+                # `make = gf2_... if cond else gf256_...; make(...)`
+                # where both wrappers hash the same tuple: the branch
+                # choice does not change the stream — the exact
+                # aliasing this rule exists to catch.
+                yield Finding(
+                    self.rule_id,
+                    module.rel,
+                    node.lineno,
+                    f"call resolves to multiple entry points that all "
+                    f"hash the same domain (label '{label_node.value}', "
+                    f"{domain[1]} ids); give each wrapper a literal "
+                    "discriminator id",
+                )
+                continue
+            domains.add(domain)
+            sites.append(
+                _CallSite(
+                    path=module.rel,
+                    line=node.lineno,
+                    label=label_node.value,
+                    arity=len(ids) + len(entry.extras),
+                    extras=entry.extras,
+                )
+            )
+
+
+DATAFLOW_RULES: tuple[Rule, ...] = (UnitConfusion(), StreamDomainCollision())

@@ -571,10 +571,19 @@ class NondeterminismSources(Rule):
                 )
 
 
-ALL_RULES: tuple[Rule, ...] = (
-    UnkeyedRandomness(),
-    KernelTwinDiscipline(),
-    ExperimentContract(),
-    HotPathPurity(),
-    NondeterminismSources(),
-)
+def _all_rules() -> tuple[Rule, ...]:
+    # dataflow.py imports helpers from this module; resolve the cycle
+    # by assembling the registry lazily at import completion.
+    from reprolint.dataflow import DATAFLOW_RULES
+
+    return (
+        UnkeyedRandomness(),
+        KernelTwinDiscipline(),
+        ExperimentContract(),
+        HotPathPurity(),
+        NondeterminismSources(),
+        *DATAFLOW_RULES,
+    )
+
+
+ALL_RULES: tuple[Rule, ...] = _all_rules()

@@ -1,0 +1,24 @@
+"""Corpus: unit-correct mirror of the RP006 violating tree."""
+
+import numpy as np
+
+
+def mw_to_dbm(mw):
+    return 10.0 * np.log10(mw)
+
+
+def dbm_to_mw(dbm):
+    return 10.0 ** (dbm / 10.0)
+
+
+def link_budget(
+    noise_dbm, signal_dbm, gain_db, duration_s, n_chips, chip_rate_hz
+):
+    total_mw = dbm_to_mw(noise_dbm) + dbm_to_mw(signal_dbm)
+    window_s = duration_s + n_chips / chip_rate_hz
+    rx_dbm = signal_dbm + gain_db
+    return mw_to_dbm(total_mw), window_s, rx_dbm
+
+
+def carrier_sense(rx_dbm, floor_dbm):
+    return rx_dbm > floor_dbm

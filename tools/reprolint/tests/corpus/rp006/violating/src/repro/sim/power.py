@@ -1,0 +1,18 @@
+"""Corpus: deliberate unit-confusion bugs for RP006."""
+
+import numpy as np
+
+
+def mw_to_dbm(mw):
+    return 10.0 * np.log10(mw)
+
+
+def link_budget(noise_dbm, signal_dbm, gain_db, duration_s, n_chips):
+    total_dbm = noise_dbm + signal_dbm
+    window_s = duration_s + n_chips
+    ratio_linear = gain_db
+    return total_dbm, window_s, ratio_linear, mw_to_dbm(gain_db)
+
+
+def carrier_sense(gain_db, floor_dbm):
+    return gain_db > floor_dbm

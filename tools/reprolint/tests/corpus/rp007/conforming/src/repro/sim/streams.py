@@ -1,0 +1,29 @@
+"""Corpus: RP007-conforming stream derivations.
+
+The mirror of the violating tree: distinct labels per subsystem,
+forwarding wrappers with distinct literal discriminator ids, and no
+dynamic labels or starred ids outside a forwarder.
+"""
+
+from repro.utils.rng import derive_key
+
+
+def gf2_coefficients(seed, label, *ids):
+    return derive_key(seed, label, *ids, 2)
+
+
+def gf256_coefficients(seed, label, *ids):
+    return derive_key(seed, label, *ids, 256)
+
+
+def noise_key(seed, node_id):
+    return derive_key(seed, "noise", node_id)
+
+
+def traffic_key(seed, node_id):
+    return derive_key(seed, "traffic", node_id)
+
+
+def coefficients(seed, chunk, wide):
+    make = gf2_coefficients if wide else gf256_coefficients
+    return make(seed, "coeffs", chunk)

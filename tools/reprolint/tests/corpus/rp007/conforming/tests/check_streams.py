@@ -1,0 +1,13 @@
+"""Tests may re-derive keys freely: RP007 exempts the tests tree.
+
+Pinning a key's value requires reconstructing it — that is the test's
+job, not a collision (the runtime analogue is ``sanitize.suspended``).
+"""
+
+from repro.utils.rng import derive_key
+
+
+def check_pinned():
+    a = derive_key(0, "noise", 1)
+    b = derive_key(0, "noise", 1)
+    return a, b

@@ -1,0 +1,32 @@
+"""Corpus: RNG stream-domain collisions for RP007."""
+
+from repro.utils.rng import derive_key
+
+
+def gf2_coefficients(seed, label, *ids):
+    return derive_key(seed, label, *ids, 2)
+
+
+def gf256_coefficients(seed, label, *ids):
+    return derive_key(seed, label, *ids, 2)
+
+
+def noise_key(seed, node_id):
+    return derive_key(seed, "noise", node_id)
+
+
+def traffic_key(seed, node_id):
+    return derive_key(seed, "noise", node_id)
+
+
+def shadow_key(seed, label):
+    return derive_key(seed, label)
+
+
+def fanout_key(seed, ids):
+    return derive_key(seed, "fanout", *ids)
+
+
+def coefficients(seed, chunk, wide):
+    make = gf2_coefficients if wide else gf256_coefficients
+    return make(seed, "coeffs", chunk)

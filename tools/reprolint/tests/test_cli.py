@@ -52,3 +52,78 @@ def test_missing_path_errors(monkeypatch):
     with pytest.raises(SystemExit) as exc:
         main(["no_such_dir"])
     assert exc.value.code == 2
+
+
+class TestRuleFilters:
+    """--select / --ignore and the exit-code contract they honor."""
+
+    def test_select_runs_only_named_rules(self, monkeypatch, capsys):
+        # The rp001 violating tree is clean under every other rule, so
+        # selecting RP005 must hide its two RP001 findings.
+        monkeypatch.chdir(CORPUS / "rp001" / "violating")
+        assert main(["src", "--select", "RP005"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_select_still_reports_named_rule(self, monkeypatch, capsys):
+        monkeypatch.chdir(CORPUS / "rp001" / "violating")
+        assert main(["src", "--select", "RP001"]) == 1
+        assert "RP001" in capsys.readouterr().out
+
+    def test_ignore_skips_named_rules(self, monkeypatch, capsys):
+        monkeypatch.chdir(CORPUS / "rp001" / "violating")
+        assert main(["src", "--ignore", "RP001"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_select_and_ignore_are_mutually_exclusive(self, monkeypatch):
+        monkeypatch.chdir(CORPUS / "rp001" / "conforming")
+        with pytest.raises(SystemExit) as exc:
+            main(["src", "--select", "RP001", "--ignore", "RP005"])
+        assert exc.value.code == 2
+
+    def test_unknown_rule_id_is_usage_error(self, monkeypatch):
+        monkeypatch.chdir(CORPUS / "rp001" / "conforming")
+        with pytest.raises(SystemExit) as exc:
+            main(["src", "--select", "RP999"])
+        assert exc.value.code == 2
+
+    def test_rp000_cannot_be_ignored(self, monkeypatch):
+        monkeypatch.chdir(CORPUS / "rp001" / "conforming")
+        with pytest.raises(SystemExit) as exc:
+            main(["src", "--ignore", "RP000"])
+        assert exc.value.code == 2
+
+    def test_empty_rule_list_is_usage_error(self, monkeypatch):
+        monkeypatch.chdir(CORPUS / "rp001" / "conforming")
+        with pytest.raises(SystemExit) as exc:
+            main(["src", "--select", ","])
+        assert exc.value.code == 2
+
+    def test_json_report_reflects_active_rules(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(CORPUS / "rp001" / "conforming")
+        assert main(["src", "--select", "RP001", "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report["rules"]) == {"RP001"}
+
+    def test_suppression_for_deselected_rule_not_flagged(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        """A suppression whose rule did not run is neither unknown nor
+        unused — judging it needs the rule's findings."""
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "mod.py").write_text(
+            "import numpy as np\n"
+            "gen = np.random.default_rng(0)"
+            "  # reprolint: disable=RP001 -- corpus fixture\n",
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(tmp_path)
+        # Full run: the suppression is used (RP001 fires there).
+        assert main(["src"]) == 0
+        # RP001 deselected: its suppression must not become RP000 noise.
+        assert main(["src", "--select", "RP005"]) == 0
+        out = capsys.readouterr().out
+        assert "unused suppression" not in out
+        assert "unknown rule" not in out

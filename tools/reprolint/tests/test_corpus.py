@@ -68,6 +68,19 @@ EXPECTED_VIOLATIONS = {
         ("RP005", "src/repro/sim/report.py", 9),  # datetime.now()
         ("RP005", "src/repro/sim/report.py", 14),  # level == 0.0
     ],
+    "rp006": [
+        ("RP006", "src/repro/sim/power.py", 11),  # dbm + dbm
+        ("RP006", "src/repro/sim/power.py", 12),  # seconds + chip count
+        ("RP006", "src/repro/sim/power.py", 13),  # db into *_linear name
+        ("RP006", "src/repro/sim/power.py", 14),  # db bound to mw param
+        ("RP006", "src/repro/sim/power.py", 18),  # db compared with dbm
+    ],
+    "rp007": [
+        ("RP007", "src/repro/sim/streams.py", 19),  # shares 'noise' with :15
+        ("RP007", "src/repro/sim/streams.py", 23),  # non-literal label
+        ("RP007", "src/repro/sim/streams.py", 27),  # starred ids, no forwarder
+        ("RP007", "src/repro/sim/streams.py", 32),  # alias branches hash alike
+    ],
 }
 
 
