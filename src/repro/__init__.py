@@ -24,6 +24,7 @@ See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
 """
 
+from repro._version import __version__
 from repro.arq import (
     FullPacketArqSession,
     PpArqReceiver,
@@ -67,8 +68,6 @@ from repro.sim import (
     evaluate_schemes,
     paper_testbed,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "FullPacketArqSession",

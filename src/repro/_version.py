@@ -1,0 +1,11 @@
+"""Single source of the package version.
+
+Read by ``repro/__init__.py`` (the public ``repro.__version__``), by
+``setup.py`` (textually, so packaging needs no imports), and by the
+artifact layer: the runner stamps it into JSON manifests/artifacts and
+:mod:`repro.store` folds it into every content-addressed key, so a
+version bump invalidates durable cache entries instead of silently
+reusing results computed by older code.
+"""
+
+__version__ = "1.1.0"

@@ -27,10 +27,11 @@ import multiprocessing
 import sys
 from dataclasses import dataclass, field, replace
 from itertools import product
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
+from repro._version import __version__
 from repro.link.schemes import (
     DeliveryScheme,
     FragmentedCrcScheme,
@@ -44,6 +45,9 @@ from repro.sim.network import (
     SimulationResult,
 )
 from repro.utils import sanitize
+
+if TYPE_CHECKING:
+    from repro.store import RunStore
 
 LOAD_MODERATE = 3500.0
 LOAD_MEDIUM = 6900.0
@@ -224,10 +228,14 @@ class ExperimentResult:
         Deterministic for a deterministic experiment: numpy series are
         coerced to plain data and no timing information is included,
         so two equivalent runs (any ``jobs`` count, ``batch_decode``
-        on or off) produce byte-identical documents.
+        on or off) produce byte-identical documents.  The package
+        version is stamped in (equivalent runs of the *same* code stay
+        byte-identical; results from different code are telling the
+        truth about their provenance).
         """
         return {
             "schema_version": RESULT_SCHEMA_VERSION,
+            "repro_version": __version__,
             "experiment_id": self.experiment_id,
             "title": self.title,
             "paper_expectation": self.paper_expectation,
@@ -453,6 +461,12 @@ class RunCache:
     it, as do :class:`Sweep` scenarios and registered experiment
     points.  Constructor keyword overrides configure the base in
     place: ``RunCache(duration_s=3.0, seed=11, jobs=4)``.
+
+    ``store`` attaches a durable :class:`~repro.store.RunStore`: the
+    hit order becomes memory → disk → simulate, fresh simulations are
+    written back, and because the store round-trips runs bit-for-bit,
+    everything downstream stays on the determinism contract whether a
+    run was simulated or loaded.
     """
 
     def __init__(
@@ -460,6 +474,7 @@ class RunCache:
         base: SimulationConfig | None = None,
         *,
         jobs: int = 1,
+        store: "RunStore | None" = None,
         **overrides: Any,
     ) -> None:
         if jobs < 1:
@@ -470,6 +485,7 @@ class RunCache:
             base = replace(base, **_resolve_overrides(overrides))
         self.base = base
         self.jobs = int(jobs)
+        self.store = store
         self._cache: dict[SimulationConfig, SimulationResult] = {}
 
     def config_for(self, **overrides: Any) -> SimulationConfig:
@@ -479,28 +495,52 @@ class RunCache:
         return replace(self.base, **_resolve_overrides(overrides))
 
     def prefetch(self, configs: Iterable[SimulationConfig]) -> None:
-        """Simulate any uncached configs, in parallel when jobs > 1.
+        """Resolve any uncached configs: disk first, then simulate.
 
-        Configs are embarrassingly parallel: each worker runs one
-        whole simulation point.  The cache ends up exactly as if every
-        config had been simulated sequentially.
+        Hit order is memory → backing store (when one is attached) →
+        simulate, with every fresh simulation written back to the
+        store.  Uncached configs are simulated in parallel when
+        ``jobs > 1`` — they are embarrassingly parallel, each worker
+        running one whole point — and the cache ends up exactly as if
+        every config had been simulated sequentially.  Store reads and
+        write-backs happen in the parent process, so one entry is
+        written per point regardless of the worker count.
         """
-        missing: list[SimulationConfig] = []
+        # An order-preserving dict doubles as the dedup set: configs
+        # are hashable, so membership is O(1) instead of the O(n) list
+        # probe that made large sweep prefetches quadratic.
+        missing: dict[SimulationConfig, None] = {}
         for config in configs:
-            if config not in self._cache and config not in missing:
-                missing.append(config)
+            if config not in self._cache:
+                missing[config] = None
+        if missing and self.store is not None:
+            for config in list(missing):
+                stored = self.store.get(config)
+                if stored is not None:
+                    self._cache[config] = stored
+                    del missing[config]
         if not missing:
             return
         n_workers = min(self.jobs, len(missing))
         if n_workers == 1:
             for config in missing:
-                self._cache[config] = _simulate_config(config)[1]
+                self._store_result(config, _simulate_config(config)[1])
             return
         ctx = _preferred_mp_context()
         with ctx.Pool(processes=n_workers) as pool:
-            for config, result, ledger in pool.map(_simulate_config, missing):
+            for config, result, ledger in pool.map(
+                _simulate_config, list(missing)
+            ):
                 sanitize.merge(ledger)
-                self._cache[config] = result
+                self._store_result(config, result)
+
+    def _store_result(
+        self, config: SimulationConfig, result: SimulationResult
+    ) -> None:
+        """Cache a fresh simulation, writing back to the store."""
+        self._cache[config] = result
+        if self.store is not None:
+            self.store.put(config, result)
 
     def get(
         self,

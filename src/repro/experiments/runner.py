@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments.runner --all --quick --jobs 4
     python -m repro.experiments.runner --all --format json
     python -m repro.experiments.runner --all --out artifacts/
+    python -m repro.experiments.runner --all --quick --store store/
 
 Experiments come from the declarative registry: each ``exp_*`` module
 registers its spec (including the simulation points it needs), the
@@ -15,30 +16,41 @@ runner prefetches the union of the selected specs' points — sharded
 across ``--jobs`` worker processes — and then runs each experiment
 against the shared :class:`~repro.experiments.common.RunCache`.
 
+``--store DIR`` (default: the ``REPRO_STORE`` environment variable)
+backs the cache with a durable content-addressed run store: points
+already in the store are loaded instead of simulated, fresh points are
+written back, and a repeat invocation against a warm store performs
+zero simulations.  The store's hit/miss/write/corrupt counters appear
+in the summary, in the ``--format json`` document, and in the
+``--out`` manifest.
+
 Text mode prints each experiment's ASCII rendering, the paper's
 expectation, and its shape checks; ``--format json`` emits one JSON
 document on stdout and ``--out DIR`` writes one ``<id>.json`` per
 experiment plus a manifest.  The JSON artifacts contain no timing
 information, so equivalent runs (any ``--jobs`` count,
-``--no-batch-decode`` on or off) are byte-identical — CI diffs them
-directly.  Exit status is non-zero if any shape check fails, so the
-runner doubles as a reproduction gate.
+``--no-batch-decode`` on or off, warm or cold store) are
+byte-identical — CI diffs them directly.  Exit status is non-zero if
+any shape check fails, so the runner doubles as a reproduction gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
+from repro._version import __version__
 from repro.experiments import registry
 from repro.experiments.common import (
     RESULT_SCHEMA_VERSION,
     ExperimentResult,
     RunCache,
 )
+from repro.store import RunStore, StoreCounters
 
 
 def run_experiments(
@@ -47,6 +59,7 @@ def run_experiments(
     seed: int = 2007,
     batch_decode: bool = True,
     jobs: int = 1,
+    store: RunStore | None = None,
 ) -> list[ExperimentResult]:
     """Run the named experiments against one shared run cache.
 
@@ -59,6 +72,10 @@ def run_experiments(
     Results are bit-identical for every ``jobs`` value: each point's
     streams derive from its config alone, so it does not matter which
     process simulates it.
+
+    ``store`` backs the cache with a durable run store (memory → disk
+    → simulate, write-back on miss); results are bit-identical with or
+    without one.
     """
     specs = [registry.get_spec(name) for name in names]
     cache = RunCache(
@@ -66,6 +83,7 @@ def run_experiments(
         seed=seed,
         batch_decode=batch_decode,
         jobs=jobs,
+        store=store,
     )
     points = [
         config for spec in specs for config in spec.configs(cache.base)
@@ -81,19 +99,27 @@ def run_experiments(
 
 
 def write_artifacts(
-    out_dir: Path, results: list[ExperimentResult]
+    out_dir: Path,
+    results: list[ExperimentResult],
+    store_counters: StoreCounters | None = None,
 ) -> list[Path]:
     """Write one ``<id>.json`` per result plus ``manifest.json``.
 
     Files are deterministic (sorted keys, no timings): two equivalent
-    runs produce byte-identical artifact directories.
+    runs produce byte-identical artifact directories.  When the run
+    used a store, its counters land in the manifest's ``store`` key —
+    the one intentionally run-dependent part, which is why CI byte-
+    diffs artifact directories with the manifest excluded.
     """
     out_dir.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
     manifest: dict = {
         "schema_version": RESULT_SCHEMA_VERSION,
+        "repro_version": __version__,
         "experiments": {},
     }
+    if store_counters is not None:
+        manifest["store"] = store_counters.as_dict()
     for result in results:
         path = out_dir / f"{result.experiment_id}.json"
         path.write_text(
@@ -177,6 +203,14 @@ def main(argv: list[str] | None = None) -> int:
         help="also write per-experiment JSON artifacts (plus a "
         "manifest) into DIR",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="back the run cache with a durable content-addressed "
+        "store in DIR: stored points are loaded instead of simulated "
+        "and fresh points are written back (default: the REPRO_STORE "
+        "environment variable, if set)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -192,16 +226,23 @@ def main(argv: list[str] | None = None) -> int:
     if not names:
         parser.error("pass --all, --experiment ID [ID ...], or --list")
     duration = 15.0 if args.quick else 40.0
+    store_dir = args.store or os.environ.get("REPRO_STORE")
+    store = RunStore(store_dir) if store_dir else None
     results = run_experiments(
         names,
         duration_s=duration,
         seed=args.seed,
         batch_decode=not args.no_batch_decode,
         jobs=args.jobs,
+        store=store,
     )
 
     if args.out:
-        write_artifacts(Path(args.out), results)
+        write_artifacts(
+            Path(args.out),
+            results,
+            store_counters=store.counters if store else None,
+        )
 
     failed = sum(not r.all_passed for r in results)
     total_checks = sum(len(r.shape_checks) for r in results)
@@ -212,12 +253,20 @@ def main(argv: list[str] | None = None) -> int:
         f"=== {len(results)} experiments, {passed_checks}/{total_checks} "
         f"shape checks passed ==="
     )
+    store_line = (
+        f"store {store_dir}: {store.counters.summary()}" if store else None
+    )
     if args.format == "json":
         document = {
             "schema_version": RESULT_SCHEMA_VERSION,
+            "repro_version": __version__,
             "results": [r.to_dict() for r in results],
         }
+        if store:
+            document["store"] = store.counters.as_dict()
         print(json.dumps(document, indent=2, sort_keys=True))
+        if store_line:
+            print(store_line, file=sys.stderr)
         print(summary, file=sys.stderr)
     else:
         for result in results:
@@ -225,6 +274,8 @@ def main(argv: list[str] | None = None) -> int:
             print()
         if args.out:
             print(f"JSON artifacts written to {args.out}")
+        if store_line:
+            print(store_line)
         print(summary)
     return 1 if failed else 0
 

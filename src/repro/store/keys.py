@@ -1,0 +1,62 @@
+"""Content addressing for the durable run store.
+
+A store key is a SHA-256 over the *canonical JSON* of three things:
+the full frozen :class:`~repro.sim.network.SimulationConfig` (field
+names and values — never Python ``hash()``, which is neither stable
+across processes nor across versions), the store's on-disk schema
+version, and the package version.  Folding the two version stamps into
+the key means a schema or code change makes every old entry *miss* —
+stale results are recomputed and rewritten, never silently reused.
+
+Canonical JSON is ``json.dumps`` with sorted keys, no whitespace, and
+``allow_nan=False``: for any JSON-representable value it is a
+deterministic byte sequence, and Python's shortest-repr float
+formatting makes it exact for every finite float64.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from repro._version import __version__
+from repro.sim.network import SimulationConfig
+
+# Version of the on-disk entry layout (document structure, array
+# encoding).  Bump whenever the serialized form changes shape; old
+# entries then miss by key and are recomputed.
+STORE_SCHEMA_VERSION = 1
+
+
+def canonical_config_dict(config: SimulationConfig) -> dict[str, Any]:
+    """The config as plain JSON data, nested dataclasses included."""
+    return dataclasses.asdict(config)
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON text for ``data`` (sorted keys, no spaces)."""
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def config_key(
+    config: SimulationConfig, *, repro_version: str | None = None
+) -> str:
+    """The store key (hex SHA-256) addressing ``config``'s run.
+
+    ``repro_version`` overrides the package version stamp — for tests
+    that pin the invalidation behaviour; real callers always address
+    entries written by the code that is running.
+    """
+    material = {
+        "store_schema_version": STORE_SCHEMA_VERSION,
+        "repro_version": (
+            __version__ if repro_version is None else repro_version
+        ),
+        "config": canonical_config_dict(config),
+    }
+    digest = hashlib.sha256(canonical_json(material).encode("utf-8"))
+    return digest.hexdigest()

@@ -135,3 +135,40 @@ class TestFullConfigKey:
         )
         via_overrides = runs.get(load=13800.0, carrier_sense=False)
         assert direct is via_overrides
+
+
+class TestStoreInvariance:
+    """A store-backed cache stays on the contract: results loaded from
+    disk are bit-identical to freshly simulated ones, for any worker
+    count and whichever process wrote the entries."""
+
+    def test_store_round_trip_matches_fresh_simulation(self, tmp_path):
+        from repro.store import RunStore
+
+        fresh = _runs(jobs=1)
+        fresh.prefetch(_points(fresh))
+        writer = _runs(jobs=2, store=RunStore(tmp_path))
+        writer.prefetch(_points(writer))
+        # A brand-new cache resolves every point from disk alone.
+        reader = _runs(jobs=1, store=RunStore(tmp_path))
+        reader.prefetch(_points(reader))
+        assert reader.store.counters.misses == 0
+        for config in _points(fresh):
+            _assert_results_identical(
+                fresh.get(config), reader.get(config)
+            )
+
+    def test_warm_store_identical_across_worker_counts(self, tmp_path):
+        from repro.store import RunStore
+
+        for jobs in (1, 3):
+            runs = _runs(jobs=jobs, store=RunStore(tmp_path))
+            runs.prefetch(_points(runs))
+        baseline = _runs(jobs=1)
+        baseline.prefetch(_points(baseline))
+        warm = _runs(jobs=3, store=RunStore(tmp_path))
+        warm.prefetch(_points(warm))
+        for config in _points(baseline):
+            _assert_results_identical(
+                baseline.get(config), warm.get(config)
+            )

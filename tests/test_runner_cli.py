@@ -271,3 +271,66 @@ class TestRunnerCli:
         assert isinstance(
             manifest["experiments"]["fig13"]["all_passed"], bool
         )
+
+
+class TestRunnerStore:
+    def test_store_counters_in_manifest_and_summary(
+        self, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "store"
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            [
+                "--experiment",
+                "fig13",
+                "--store",
+                str(store_dir),
+                "--out",
+                str(out_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"store {store_dir}:" in out
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert set(manifest["store"]) == {
+            "hits",
+            "misses",
+            "writes",
+            "corrupt",
+        }
+        assert manifest["repro_version"] == repro.__version__
+
+    def test_repro_store_env_is_the_default(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        code = main(["--experiment", "fig13"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "env-store:" in out
+
+    def test_no_store_by_default(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        code = main(["--experiment", "fig13"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "store " not in out
+
+    def test_warm_store_rerun_simulates_nothing(self, tmp_path):
+        from repro.store import RunStore
+
+        cold = RunStore(tmp_path)
+        run_experiments(["table2"], duration_s=2.0, store=cold)
+        assert cold.counters.writes == cold.counters.misses > 0
+        warm = RunStore(tmp_path)
+        warm_results = run_experiments(
+            ["table2"], duration_s=2.0, store=warm
+        )
+        assert warm.counters.misses == 0
+        assert warm.counters.writes == 0
+        assert warm.counters.hits == cold.counters.misses
+        cold_results = run_experiments(["table2"], duration_s=2.0)
+        assert [r.to_dict() for r in warm_results] == [
+            r.to_dict() for r in cold_results
+        ]

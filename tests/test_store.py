@@ -1,0 +1,324 @@
+"""Tests for the durable content-addressed run store.
+
+Covers the key derivation (content addressing + version stamps), the
+bit-for-bit round trip the determinism contract depends on, the
+observability counters, and the durability properties: atomic writes
+under concurrent writers, corrupt/truncated entries detected and
+transparently recomputed, and version-stamp invalidation.
+"""
+
+import dataclasses
+import gzip
+import json
+
+import numpy as np
+import pytest
+
+import repro.experiments.common as common
+from repro.experiments.common import RunCache, _preferred_mp_context
+from repro.store import (
+    RunStore,
+    STORE_SCHEMA_VERSION,
+    canonical_config_dict,
+    canonical_json,
+    config_key,
+    config_from_dict,
+    config_to_dict,
+    result_from_parts,
+    result_to_parts,
+)
+
+_DURATION_S = 2.0
+_SEED = 21
+
+
+def _config(**overrides):
+    base = RunCache(duration_s=_DURATION_S, seed=_SEED)
+    fields = {"load": 13800.0, "carrier_sense": False, **overrides}
+    return base.config_for(**fields)
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One cheap simulated point, shared across the module."""
+    config = _config()
+    return config, common._simulate_config(config)[1]
+
+
+def _assert_results_identical(a, b) -> None:
+    assert a.config == b.config
+    assert np.array_equal(a.testbed.positions_m, b.testbed.positions_m)
+    assert a.testbed.sender_ids == b.testbed.sender_ids
+    assert a.testbed.receiver_ids == b.testbed.receiver_ids
+    assert a.testbed.room_grid == b.testbed.room_grid
+    assert a.testbed.area_m == b.testbed.area_m
+    assert len(a.transmissions) == len(b.transmissions)
+    for ta, tb in zip(a.transmissions, b.transmissions, strict=True):
+        assert dataclasses.astuple(ta)[:4] == dataclasses.astuple(tb)[:4]
+        assert ta.symbols.dtype == tb.symbols.dtype
+        assert np.array_equal(ta.symbols, tb.symbols)
+        assert (ta.symbol_period, ta.seq) == (tb.symbol_period, tb.seq)
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records, strict=True):
+        for field in (
+            "tx_id",
+            "sender",
+            "receiver",
+            "start",
+            "preamble_detectable",
+            "header_ok",
+            "postamble_detectable",
+            "trailer_ok",
+            "acquired_preamble",
+            "payload_start",
+            "payload_end",
+        ):
+            assert getattr(ra, field) == getattr(rb, field), field
+        for field in ("body_symbols", "body_hints", "body_truth"):
+            va, vb = getattr(ra, field), getattr(rb, field)
+            assert va.dtype == vb.dtype, field
+            assert np.array_equal(va, vb), field
+
+
+class TestKeys:
+    def test_key_is_hex_sha256(self):
+        key = config_key(_config())
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_equal_configs_equal_keys(self):
+        assert config_key(_config()) == config_key(_config())
+
+    def test_every_field_is_part_of_the_key(self):
+        base = config_key(_config())
+        assert config_key(_config(load=3500.0)) != base
+        assert config_key(_config(seed=_SEED + 1)) != base
+        assert config_key(_config(carrier_sense=True)) != base
+
+    def test_version_stamp_is_part_of_the_key(self):
+        config = _config()
+        assert config_key(config, repro_version="9.9.9") != config_key(
+            config
+        )
+
+    def test_canonical_json_is_order_independent(self):
+        assert canonical_json({"b": 1, "a": [2.5, None]}) == canonical_json(
+            {"a": [2.5, None], "b": 1}
+        )
+
+    def test_config_dict_round_trip(self):
+        config = _config()
+        assert config_from_dict(config_to_dict(config)) == config
+        # canonical_config_dict is the same plain data.
+        assert canonical_config_dict(config) == config_to_dict(config)
+
+
+class TestRoundTrip:
+    def test_parts_round_trip_bit_for_bit(self, run):
+        _config_, result = run
+        structure, binary = result_to_parts(result)
+        # The structure must survive a JSON round trip unchanged.
+        structure = json.loads(canonical_json(structure))
+        _assert_results_identical(
+            result, result_from_parts(structure, binary)
+        )
+
+    def test_store_round_trip_bit_for_bit(self, run, tmp_path):
+        config, result = run
+        store = RunStore(tmp_path)
+        store.put(config, result)
+        loaded = store.get(config)
+        assert loaded is not None
+        _assert_results_identical(result, loaded)
+
+    def test_counters(self, run, tmp_path):
+        config, result = run
+        store = RunStore(tmp_path)
+        assert store.get(config) is None
+        store.put(config, result)
+        assert store.get(config) is not None
+        assert store.counters.as_dict() == {
+            "hits": 1,
+            "misses": 1,
+            "writes": 1,
+            "corrupt": 0,
+        }
+        assert store.counters.summary() == (
+            "1 hits, 1 misses, 1 writes, 0 corrupt"
+        )
+
+    def test_entry_bytes_deterministic(self, run, tmp_path):
+        config, result = run
+        store = RunStore(tmp_path)
+        path = store.put(config, result)
+        first = path.read_bytes()
+        assert store.put(config, result) == path
+        assert path.read_bytes() == first
+
+    def test_put_rejects_mismatched_config(self, run, tmp_path):
+        config, result = run
+        with pytest.raises(ValueError, match="different config"):
+            RunStore(tmp_path).put(_config(load=3500.0), result)
+
+    def test_no_temp_files_left_behind(self, run, tmp_path):
+        config, result = run
+        store = RunStore(tmp_path)
+        path = store.put(config, result)
+        assert list(path.parent.iterdir()) == [path]
+
+
+def _warm_store(tmp_path, run) -> tuple[RunStore, object]:
+    config, result = run
+    store = RunStore(tmp_path)
+    store.put(config, result)
+    return store, config
+
+
+class TestCorruption:
+    def test_truncated_entry_recovers(self, run, tmp_path):
+        store, config = _warm_store(tmp_path, run)
+        path = store.path_for(config)
+        path.write_bytes(path.read_bytes()[:100])
+        assert store.get(config) is None
+        assert store.counters.corrupt == 1
+        assert store.counters.misses == 1
+        assert not path.exists()  # bad entry deleted for rewrite
+
+    def test_garbage_entry_recovers(self, run, tmp_path):
+        store, config = _warm_store(tmp_path, run)
+        store.path_for(config).write_bytes(b"not a gzip stream")
+        assert store.get(config) is None
+        assert store.counters.corrupt == 1
+
+    def test_checksum_mismatch_detected(self, run, tmp_path):
+        store, config = _warm_store(tmp_path, run)
+        path = store.path_for(config)
+        raw = bytearray(gzip.decompress(path.read_bytes()))
+        raw[-1] ^= 0xFF  # flip a payload byte; header stays valid
+        path.write_bytes(gzip.compress(bytes(raw), mtime=0))
+        assert store.get(config) is None
+        assert store.counters.corrupt == 1
+
+    def test_schema_version_mismatch_invalidates(self, run, tmp_path):
+        store, config = _warm_store(tmp_path, run)
+        path = store.path_for(config)
+        raw = gzip.decompress(path.read_bytes())
+        header_end = raw.index(b"\n")
+        header = json.loads(raw[:header_end])
+        assert header["store_schema_version"] == STORE_SCHEMA_VERSION
+        header["store_schema_version"] = STORE_SCHEMA_VERSION + 1
+        path.write_bytes(
+            gzip.compress(
+                canonical_json(header).encode()
+                + b"\n"
+                + raw[header_end + 1 :],
+                mtime=0,
+            )
+        )
+        assert store.get(config) is None
+        assert store.counters.corrupt == 1
+
+    def test_version_mismatch_invalidates(self, run, tmp_path):
+        store, config = _warm_store(tmp_path, run)
+        path = store.path_for(config)
+        raw = gzip.decompress(path.read_bytes())
+        header_end = raw.index(b"\n")
+        header = json.loads(raw[:header_end])
+        header["repro_version"] = "0.0.1"
+        # The checksum covers only the body, so the entry is intact
+        # apart from the stale stamp — exactly what an entry written
+        # by older code looks like.
+        path.write_bytes(
+            gzip.compress(
+                canonical_json(header).encode()
+                + b"\n"
+                + raw[header_end + 1 :],
+                mtime=0,
+            )
+        )
+        assert store.get(config) is None
+        assert store.counters.corrupt == 1
+
+    def test_recompute_after_corruption(self, run, tmp_path):
+        config, result = run
+        store = RunStore(tmp_path)
+        store.put(config, result)
+        store.path_for(config).write_bytes(b"torn")
+        cache = RunCache(
+            duration_s=_DURATION_S, seed=_SEED, store=store
+        )
+        _assert_results_identical(result, cache.get(config))
+        # The write-back healed the entry.
+        fresh = RunStore(tmp_path)
+        loaded = fresh.get(config)
+        assert loaded is not None
+        _assert_results_identical(result, loaded)
+
+
+def _racing_writer(root: str) -> int:
+    """Worker body: repeatedly rewrite the same entry (fork-pickleable)."""
+    config = _config()
+    store = RunStore(root)
+    result = common._simulate_config(config)[1]
+    for _ in range(3):
+        store.put(config, result)
+    return store.counters.writes
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_leave_a_valid_entry(self, tmp_path):
+        ctx = _preferred_mp_context()
+        with ctx.Pool(processes=2) as pool:
+            writes = pool.map(_racing_writer, [str(tmp_path)] * 2)
+        assert writes == [3, 3]
+        store = RunStore(tmp_path)
+        config = _config()
+        assert store.get(config) is not None
+        assert store.counters.as_dict() == {
+            "hits": 1,
+            "misses": 0,
+            "writes": 0,
+            "corrupt": 0,
+        }
+        # No temp droppings from either writer.
+        path = store.path_for(config)
+        assert list(path.parent.iterdir()) == [path]
+
+
+class TestRunCacheIntegration:
+    def test_disk_hit_skips_simulation(self, run, tmp_path, monkeypatch):
+        store, config = _warm_store(tmp_path, run)
+
+        def boom(_config):
+            raise AssertionError("simulated despite a warm store")
+
+        monkeypatch.setattr(common, "_simulate_config", boom)
+        cache = RunCache(
+            duration_s=_DURATION_S, seed=_SEED, store=RunStore(tmp_path)
+        )
+        _assert_results_identical(run[1], cache.get(config))
+
+    def test_memory_hit_skips_the_store(self, run, tmp_path):
+        config, result = run
+        store = RunStore(tmp_path)
+        store.put(config, result)
+        cache = RunCache(
+            duration_s=_DURATION_S, seed=_SEED, store=store
+        )
+        first = cache.get(config)
+        reads_after_first = store.counters.hits
+        assert cache.get(config) is first
+        assert store.counters.hits == reads_after_first
+
+    def test_write_back_on_miss(self, run, tmp_path):
+        config, result = run
+        store = RunStore(tmp_path)
+        cache = RunCache(
+            duration_s=_DURATION_S, seed=_SEED, store=store
+        )
+        cache.get(config)
+        assert store.counters.writes == 1
+        assert store.path_for(config).is_file()
+        loaded = RunStore(tmp_path).get(config)
+        assert loaded is not None
+        _assert_results_identical(result, loaded)
