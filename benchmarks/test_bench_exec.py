@@ -1,0 +1,70 @@
+"""Benchmarks for the supervised executor.
+
+Supervision only earns its keep if its bookkeeping is invisible next
+to real simulation work: the in-process path must add microseconds of
+overhead per task, and a fork-per-task worker must cost low
+milliseconds — small against even the cheapest (~0.1 s) simulation
+point, let alone the 40 s capacity runs the harness actually fans
+out.
+"""
+
+import time
+
+from repro.exec import ExecPolicy, FaultPlan, Supervisor, Task
+
+_POLICY = ExecPolicy()
+_NO_FAULTS = FaultPlan()
+
+
+def _identity(x):
+    return x
+
+
+def _tasks(n):
+    return [Task(task_id=i, payload=i, timeout_s=60.0) for i in range(n)]
+
+
+def test_bench_exec_serial_overhead(benchmark):
+    """Per-task bookkeeping of the in-process path (no faults)."""
+    tasks = _tasks(200)
+    supervisor = Supervisor(policy=_POLICY, faults=_NO_FAULTS)
+
+    def run():
+        results, failures = supervisor.run(tasks, _identity)
+        assert failures == []
+        return results
+
+    results = benchmark(run)
+    assert results == {i: i for i in range(200)}
+    assert not supervisor.counters.anomalous
+    if benchmark.enabled:
+        # Wall-clock gates only when actually benchmarking; under
+        # --benchmark-disable (CI) a contended runner would flake.
+        start = time.perf_counter()
+        run()
+        per_task_s = (time.perf_counter() - start) / len(tasks)
+        assert per_task_s < 1e-3, (
+            f"serial supervision costs {per_task_s * 1e6:.0f} us/task"
+        )
+
+
+def test_bench_exec_process_fanout(benchmark):
+    """Fork + pipe + join cost of one supervised worker per task."""
+    tasks = _tasks(8)
+    supervisor = Supervisor(jobs=4, policy=_POLICY, faults=_NO_FAULTS)
+
+    def run():
+        results, failures = supervisor.run(tasks, _identity)
+        assert failures == []
+        return results
+
+    results = benchmark(run)
+    assert results == {i: i for i in range(8)}
+    assert not supervisor.counters.anomalous
+    if benchmark.enabled:
+        start = time.perf_counter()
+        run()
+        per_task_s = (time.perf_counter() - start) / len(tasks)
+        assert per_task_s < 0.1, (
+            f"process supervision costs {per_task_s * 1e3:.0f} ms/task"
+        )

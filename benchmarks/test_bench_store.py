@@ -28,7 +28,7 @@ def test_bench_store_warm_hit(benchmark, tmp_path):
     """Warm store hit vs simulating the same point (>= 20x gate)."""
     config = _store_point()
     start = time.perf_counter()
-    result = _simulate_config(config)[1]
+    result = _simulate_config(config)
     simulate_s = time.perf_counter() - start
     store = RunStore(tmp_path)
     store.put(config, result)
@@ -59,7 +59,7 @@ def test_bench_store_warm_hit(benchmark, tmp_path):
 def test_bench_store_put(benchmark, tmp_path):
     """Entry write cost (atomic temp-file + rename, level-1 gzip)."""
     config = _store_point()
-    result = _simulate_config(config)[1]
+    result = _simulate_config(config)
     store = RunStore(tmp_path)
 
     path = benchmark(store.put, config, result)

@@ -1,0 +1,46 @@
+"""Fault-tolerant supervised execution for simulation sweeps.
+
+The execution half of throughput-as-a-service: where ``repro.store``
+makes completed work durable, this package makes in-flight work
+survivable.  :class:`Supervisor` runs tasks in per-task worker
+processes with crash isolation, duration-scaled timeouts, bounded
+retries under deterministic keyed backoff, and graceful degradation to
+serial execution; :class:`~repro.exec.policy.ExecPolicy` carries the
+knobs (``REPRO_EXEC``); :mod:`repro.exec.faults` injects deterministic
+chaos (``REPRO_FAULTS``) so CI can prove that results under crashes,
+hangs, and transient errors are bit-identical to a clean run.
+
+Parallel code elsewhere in the repository goes through this package —
+reprolint RP008 flags bare process pools outside it.
+"""
+
+from repro.exec.faults import (
+    FaultPlan,
+    InjectedFailure,
+    InjectedFault,
+    inject,
+)
+from repro.exec.policy import ExecPolicy, parse_spec
+from repro.exec.supervisor import (
+    ExecCounters,
+    Supervisor,
+    SweepExecutionError,
+    Task,
+    TaskFailure,
+    preferred_mp_context,
+)
+
+__all__ = [
+    "ExecCounters",
+    "ExecPolicy",
+    "FaultPlan",
+    "InjectedFailure",
+    "InjectedFault",
+    "Supervisor",
+    "SweepExecutionError",
+    "Task",
+    "TaskFailure",
+    "inject",
+    "parse_spec",
+    "preferred_mp_context",
+]

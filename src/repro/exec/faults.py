@@ -1,0 +1,165 @@
+"""Deterministic fault injection: the chaos mirror of ``REPRO_FAULTS``.
+
+The sanitizer (``repro.utils.sanitize``) proves stream-key hygiene at
+runtime; this module proves *executor* hygiene.  With ::
+
+    REPRO_FAULTS="crash=0.05,hang=0.02,flaky=0.1"
+
+the supervised worker entry point rolls one keyed uniform per (task
+key, attempt) — via ``derive_key``, exactly like every other stream in
+the repository — and injects the selected fault *before* the task
+function runs.  Because the schedule is a pure function of the config
+digest and attempt number, chaos runs are reproducible: the same sweep
+crashes, hangs, and flakes at the same points every time, on any
+worker count, which is what lets CI byte-diff a faulted run against a
+clean one.
+
+Fault kinds, partitioned over the uniform in this order:
+
+``crash``
+    the worker process dies instantly (``os._exit``) without sending a
+    result — exercising dead-worker detection and point reassignment.
+``hang``
+    the worker sleeps forever — exercising per-task timeouts and kills.
+``flaky``
+    a transient :class:`InjectedFault` is raised — exercising bounded
+    retries with backoff.
+``fail``
+    a persistent :class:`InjectedFailure` is raised.  Unlike the three
+    transient kinds it is injected in *every* execution mode, including
+    the degraded serial path and the final in-process rescue attempt —
+    so ``fail=1.0`` poisons a point permanently, exercising the
+    structured failure path end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass
+
+from repro.exec.policy import _key_seed, parse_spec
+from repro.utils.rng import derive_key, rng_from_key
+
+#: environment variable holding the fault spec
+ENV_VAR = "REPRO_FAULTS"
+
+#: partition order of the keyed uniform (stable: part of the contract)
+KIND_ORDER = ("crash", "hang", "flaky", "fail")
+
+#: kinds suspended in degraded serial / rescue execution
+TRANSIENT_KINDS = frozenset({"crash", "hang", "flaky"})
+
+#: exit code of an injected worker crash (distinguishable from real
+#: segfaults in supervisor diagnostics)
+CRASH_EXIT_CODE = 113
+
+
+class InjectedFault(RuntimeError):
+    """A transient injected failure; retries are expected to clear it."""
+
+
+class InjectedFailure(RuntimeError):
+    """A persistent injected failure; no execution mode clears it."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-attempt fault probabilities, keyed off the task identity."""
+
+    crash: float = 0.0
+    hang: float = 0.0
+    flaky: float = 0.0
+    fail: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for kind in KIND_ORDER:
+            p = getattr(self, kind)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"fault probability {kind}={p} outside [0, 1]"
+                )
+            total += p
+        if total > 1.0:
+            raise ValueError(
+                f"fault probabilities sum to {total}, exceeding 1"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault has non-zero probability."""
+        return any(getattr(self, kind) for kind in KIND_ORDER)
+
+    @property
+    def needs_processes(self) -> bool:
+        """Whether injection requires worker processes to be survivable.
+
+        Crashes and hangs must not take down (or wedge) the caller, so
+        a plan containing them forces process supervision even at
+        ``jobs=1``.
+        """
+        return bool(self.crash or self.hang)
+
+    def decide(
+        self, key: bytes, attempt: int, *, transient: bool = True
+    ) -> str | None:
+        """The fault (if any) for one (task key, attempt) execution.
+
+        One keyed uniform is partitioned across the kinds in
+        :data:`KIND_ORDER`, so a given (key, attempt) always yields the
+        same decision — independent of worker count, execution order,
+        or which process asks.  With ``transient=False`` (degraded
+        serial and rescue execution) the transient kinds are
+        suspended: their bands still occupy the same probability mass,
+        but land on "no fault", keeping ``fail`` decisions identical
+        across modes.
+        """
+        if not self.active:
+            return None
+        stream = rng_from_key(
+            derive_key(_key_seed(key), "exec/fault", attempt)
+        )
+        u = float(stream.random())
+        edge = 0.0
+        for kind in KIND_ORDER:
+            edge += getattr(self, kind)
+            if u < edge:
+                if kind in TRANSIENT_KINDS and not transient:
+                    return None
+                return kind
+        return None
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """A plan from a ``kind=prob,...`` spec (unknown kinds raise)."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**parse_spec(spec, what="REPRO_FAULTS", fields=fields))
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan":
+        """The plan selected by ``REPRO_FAULTS`` (inactive when unset)."""
+        spec = os.environ.get(ENV_VAR, "")
+        return cls.from_spec(spec) if spec else cls()
+
+
+def inject(kind: str | None) -> None:
+    """Execute one fault decision (no-op for ``None``).
+
+    Runs *before* the task function, so a surviving attempt's result is
+    byte-identical to an unfaulted run — injection perturbs execution,
+    never data.
+    """
+    if kind is None:
+        return
+    if kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if kind == "hang":
+        while True:  # killed by the supervisor's deadline
+            time.sleep(3600.0)
+    if kind == "flaky":
+        raise InjectedFault("injected transient fault (REPRO_FAULTS)")
+    if kind == "fail":
+        raise InjectedFailure("injected persistent failure (REPRO_FAULTS)")
+    raise ValueError(f"unknown fault kind {kind!r}")

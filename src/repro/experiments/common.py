@@ -23,8 +23,6 @@ from __future__ import annotations
 
 import dataclasses
 import difflib
-import multiprocessing
-import sys
 from dataclasses import dataclass, field, replace
 from itertools import product
 from typing import TYPE_CHECKING, Any, Iterable
@@ -32,6 +30,14 @@ from typing import TYPE_CHECKING, Any, Iterable
 import numpy as np
 
 from repro._version import __version__
+from repro.exec import (
+    ExecCounters,
+    ExecPolicy,
+    Supervisor,
+    SweepExecutionError,
+    Task,
+    TaskFailure,
+)
 from repro.link.schemes import (
     DeliveryScheme,
     FragmentedCrcScheme,
@@ -44,7 +50,7 @@ from repro.sim.network import (
     SimulationConfig,
     SimulationResult,
 )
-from repro.utils import sanitize
+from repro.store.keys import config_key_bytes
 
 if TYPE_CHECKING:
     from repro.store import RunStore
@@ -408,40 +414,18 @@ def sweep(**axes: Any) -> Sweep:
 # -- the run cache -----------------------------------------------------------
 
 
-def _preferred_mp_context() -> multiprocessing.context.BaseContext:
-    """``fork`` on Linux (cheap; no re-import), else ``spawn``.
-
-    macOS also *offers* fork, but forking a process with initialised
-    BLAS/framework state is unsafe there (the reason CPython switched
-    the macOS default to spawn), so only Linux takes the fast path.
-    """
-    use_fork = sys.platform == "linux" and (
-        "fork" in multiprocessing.get_all_start_methods()
-    )
-    return multiprocessing.get_context("fork" if use_fork else "spawn")
-
-
-def _simulate_config(
-    config: SimulationConfig,
-) -> tuple[SimulationConfig, SimulationResult, dict[bytes, str]]:
+def _simulate_config(config: SimulationConfig) -> SimulationResult:
     """Worker body: one simulation point, start to finish.
 
     Module-level so it pickles under every start method.  Each config
     is a fully independent simulation — its streams derive from the
     seed and per-pair keys, never from process or execution order —
     which is what makes the fan-out deterministic for any worker
-    count.
-
-    The third element is the worker's ``REPRO_SANITIZE`` stream-key
-    ledger (empty when the sanitizer is off): the parent merges every
-    shard's ledger, so one key drawn by two distinct call sites fails
-    even when the two draws happened in different worker processes.
-    Ledgers accumulate across a pooled worker's tasks — merging is
-    idempotent for same-site keys, and collisions *within* a worker
-    already raised at draw time.
+    count.  The supervised worker entry (``repro.exec.supervisor``)
+    ships each run's ``REPRO_SANITIZE`` ledger back with its result,
+    so cross-worker stream collisions are still caught per point.
     """
-    result = NetworkSimulation(config).run()
-    return config, result, sanitize.ledger_snapshot()
+    return NetworkSimulation(config).run()
 
 
 class RunCache:
@@ -467,6 +451,17 @@ class RunCache:
     written back, and because the store round-trips runs bit-for-bit,
     everything downstream stays on the determinism contract whether a
     run was simulated or loaded.
+
+    Simulation happens under a :class:`~repro.exec.Supervisor`
+    (``policy`` overrides its retry/timeout knobs; default
+    ``REPRO_EXEC``): per-point timeouts, crash isolation, bounded
+    deterministic retries, and immediate per-point store write-back.
+    Points that fail permanently raise :class:`~repro.exec.
+    SweepExecutionError` and are negatively cached — a later request
+    for the same config re-raises instead of burning the retry budget
+    again — while every other point completes and is cached normally.
+    ``exec_counters`` accumulates the supervisor's observability
+    counters across prefetches.
     """
 
     def __init__(
@@ -475,6 +470,7 @@ class RunCache:
         *,
         jobs: int = 1,
         store: "RunStore | None" = None,
+        policy: ExecPolicy | None = None,
         **overrides: Any,
     ) -> None:
         if jobs < 1:
@@ -486,7 +482,10 @@ class RunCache:
         self.base = base
         self.jobs = int(jobs)
         self.store = store
+        self.policy = policy
+        self.exec_counters = ExecCounters()
         self._cache: dict[SimulationConfig, SimulationResult] = {}
+        self._failed: dict[SimulationConfig, TaskFailure] = {}
 
     def config_for(self, **overrides: Any) -> SimulationConfig:
         """The base config with field overrides (aliases accepted)."""
@@ -499,12 +498,16 @@ class RunCache:
 
         Hit order is memory → backing store (when one is attached) →
         simulate, with every fresh simulation written back to the
-        store.  Uncached configs are simulated in parallel when
-        ``jobs > 1`` — they are embarrassingly parallel, each worker
-        running one whole point — and the cache ends up exactly as if
-        every config had been simulated sequentially.  Store reads and
-        write-backs happen in the parent process, so one entry is
-        written per point regardless of the worker count.
+        store *as it completes* — an interrupted or partially-failed
+        sweep keeps everything it finished and resumes warm.  Uncached
+        configs run under the supervisor, sharded across ``jobs``
+        worker processes; the cache ends up exactly as if every config
+        had been simulated sequentially, bit for bit.
+
+        Raises :class:`~repro.exec.SweepExecutionError` when any
+        requested point failed permanently — on this call (after every
+        other point completed) or on an earlier one (the failure is
+        cached; the point is not re-attempted).
         """
         # An order-preserving dict doubles as the dedup set: configs
         # are hashable, so membership is O(1) instead of the O(n) list
@@ -513,6 +516,11 @@ class RunCache:
         for config in configs:
             if config not in self._cache:
                 missing[config] = None
+        known_bad = [
+            self._failed[config] for config in missing if config in self._failed
+        ]
+        if known_bad:
+            raise SweepExecutionError(known_bad)
         if missing and self.store is not None:
             for config in list(missing):
                 stored = self.store.get(config)
@@ -521,18 +529,33 @@ class RunCache:
                     del missing[config]
         if not missing:
             return
-        n_workers = min(self.jobs, len(missing))
-        if n_workers == 1:
-            for config in missing:
-                self._store_result(config, _simulate_config(config)[1])
-            return
-        ctx = _preferred_mp_context()
-        with ctx.Pool(processes=n_workers) as pool:
-            for config, result, ledger in pool.map(
-                _simulate_config, list(missing)
-            ):
-                sanitize.merge(ledger)
-                self._store_result(config, result)
+        policy = self.policy if self.policy is not None else ExecPolicy.from_env()
+        tasks = [
+            Task(
+                task_id=index,
+                payload=config,
+                key=config_key_bytes(config),
+                timeout_s=policy.timeout_for(config.duration_s),
+                label=f"point {config_key_bytes(config).hex()[:12]}",
+            )
+            for index, config in enumerate(missing)
+        ]
+        supervisor = Supervisor(
+            jobs=min(self.jobs, len(tasks)),
+            policy=policy,
+            counters=self.exec_counters,
+        )
+        _, failures = supervisor.run(
+            tasks,
+            _simulate_config,
+            on_result=lambda task, result: self._store_result(
+                task.payload, result
+            ),
+        )
+        if failures:
+            for failure in failures:
+                self._failed[failure.task.payload] = failure
+            raise SweepExecutionError(failures)
 
     def _store_result(
         self, config: SimulationConfig, result: SimulationResult
@@ -564,31 +587,45 @@ class RunCache:
         return self._cache[config]
 
     def clear(self) -> None:
-        """Drop all cached runs (for memory-sensitive callers)."""
+        """Drop all cached runs and failures (memory-sensitive callers)."""
         self._cache.clear()
+        self._failed.clear()
 
 
-_SHARED_CACHES: dict[SimulationConfig, RunCache] = {}
+_SHARED_CACHES: dict[tuple, RunCache] = {}
 
 
 def default_runs(
-    *, jobs: int | None = None, **overrides: Any
+    *,
+    jobs: int | None = None,
+    store: "RunStore | None" = None,
+    **overrides: Any,
 ) -> RunCache:
-    """Process-wide shared :class:`RunCache`s, keyed by base config.
+    """Process-wide shared :class:`RunCache`s, keyed by their settings.
 
     The same parameters always return the same cache instance (so the
     harness, benchmarks, and ad-hoc callers share simulations), while
     different parameters return a *different* cache — a configured
     caller can never silently receive runs simulated under other
-    settings, which the old parameterless singleton allowed.
+    settings.  The key covers every setting: base config, ``jobs``,
+    and the ``store`` root.  (An earlier version mutated ``cache.jobs``
+    on the shared instance instead of keying on it, so one caller's
+    worker count leaked into every other caller of the same base —
+    that footgun is gone; shared caches are never reconfigured in
+    place.)
+
+    ``store`` attaches a durable run store; two callers naming the
+    same store root share one cache instance (and its store handle).
     """
     base = default_base_config(**overrides)
-    cache = _SHARED_CACHES.get(base)
+    store_root = (
+        None if store is None else str(store.root.resolve())
+    )
+    key = (base, int(jobs) if jobs is not None else 1, store_root)
+    cache = _SHARED_CACHES.get(key)
     if cache is None:
-        cache = RunCache(base)
-        _SHARED_CACHES[base] = cache
-    if jobs is not None:
-        cache.jobs = int(jobs)
+        cache = RunCache(base, jobs=key[1], store=store)
+        _SHARED_CACHES[key] = cache
     return cache
 
 

@@ -30,8 +30,23 @@ document on stdout and ``--out DIR`` writes one ``<id>.json`` per
 experiment plus a manifest.  The JSON artifacts contain no timing
 information, so equivalent runs (any ``--jobs`` count,
 ``--no-batch-decode`` on or off, warm or cold store) are
-byte-identical — CI diffs them directly.  Exit status is non-zero if
-any shape check fails, so the runner doubles as a reproduction gate.
+byte-identical — CI diffs them directly.
+
+Execution is fault tolerant: simulation points run under the
+``repro.exec`` supervisor (per-point timeouts, crash isolation,
+bounded deterministic retries — knobs via ``REPRO_EXEC``, chaos via
+``REPRO_FAULTS``), and an experiment whose points fail permanently is
+*recorded* — error, traceback, attempts, in the summary, the JSON
+document, and the manifest — instead of aborting the remaining
+experiments.
+
+Exit-code contract (documented, CI-asserted):
+
+* ``0`` — every experiment executed and every shape check passed;
+* ``1`` — every experiment executed but some shape check failed;
+* ``2`` — usage error (argparse);
+* ``3`` — at least one experiment failed to *execute* (takes
+  precedence over ``1``).
 """
 
 from __future__ import annotations
@@ -41,9 +56,12 @@ import json
 import os
 import sys
 import time
+import traceback
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro._version import __version__
+from repro.exec import ExecCounters, SweepExecutionError
 from repro.experiments import registry
 from repro.experiments.common import (
     RESULT_SCHEMA_VERSION,
@@ -51,6 +69,65 @@ from repro.experiments.common import (
     RunCache,
 )
 from repro.store import RunStore, StoreCounters
+
+#: exit code for "an experiment failed to execute" (vs 1 = shape check)
+EXIT_EXECUTION_FAILURE = 3
+
+
+@dataclass(frozen=True)
+class ExperimentFailure:
+    """One experiment that could not execute."""
+
+    experiment_id: str
+    title: str
+    error_type: str
+    error: str
+    traceback: str
+    #: attempts spent on the first permanently-failed point (0 when
+    #: the failure was not a sweep-execution failure)
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "error_type": self.error_type,
+            "error": self.error,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    def summary(self) -> str:
+        attempts = (
+            f" after {self.attempts} attempts" if self.attempts else ""
+        )
+        return (
+            f"=== {self.experiment_id}: {self.title} ===\n"
+            f"EXECUTION FAILED{attempts}: {self.error_type}: {self.error}"
+        )
+
+
+@dataclass
+class RunOutcome:
+    """What :func:`run_experiments` produced: results and casualties."""
+
+    results: list[ExperimentResult]
+    failures: list[ExperimentFailure] = field(default_factory=list)
+    exec_counters: ExecCounters = field(default_factory=ExecCounters)
+
+
+def _failure_from_sweep(
+    spec: registry.ExperimentSpec, exc: SweepExecutionError
+) -> ExperimentFailure:
+    first = exc.failures[0]
+    return ExperimentFailure(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        error_type=first.error_type,
+        error=first.error,
+        traceback=first.traceback,
+        attempts=first.attempts,
+    )
 
 
 def run_experiments(
@@ -60,7 +137,7 @@ def run_experiments(
     batch_decode: bool = True,
     jobs: int = 1,
     store: RunStore | None = None,
-) -> list[ExperimentResult]:
+) -> RunOutcome:
     """Run the named experiments against one shared run cache.
 
     ``batch_decode`` selects the fused per-trial reception decoding
@@ -68,14 +145,22 @@ def run_experiments(
     and profiling — the results are bit-identical either way.
 
     ``jobs`` fans the selected experiments' declared simulation points
-    across that many worker processes before any experiment runs.
-    Results are bit-identical for every ``jobs`` value: each point's
-    streams derive from its config alone, so it does not matter which
-    process simulates it.
+    across that many supervised worker processes before any experiment
+    runs.  Results are bit-identical for every ``jobs`` value: each
+    point's streams derive from its config alone, so it does not
+    matter which process simulates it.
 
     ``store`` backs the cache with a durable run store (memory → disk
-    → simulate, write-back on miss); results are bit-identical with or
-    without one.
+    → simulate, write-back per completed point); results are
+    bit-identical with or without one.
+
+    Failure semantics: a point that fails permanently (its retry
+    budget plus the in-process rescue attempt exhausted) fails only
+    the experiments that need it — they are recorded in
+    :attr:`RunOutcome.failures` with the error, traceback, and attempt
+    count, and every other experiment still runs.  Completed points
+    are cached (and store-written) even when siblings fail, so a
+    repaired rerun resumes warm.
     """
     specs = [registry.get_spec(name) for name in names]
     cache = RunCache(
@@ -88,28 +173,56 @@ def run_experiments(
     points = [
         config for spec in specs for config in spec.configs(cache.base)
     ]
-    cache.prefetch(points)
-    results = []
+    try:
+        cache.prefetch(points)
+    except SweepExecutionError:
+        # Every healthy point completed and is cached; the failures
+        # are negatively cached and attributed per experiment below.
+        pass
+    outcome = RunOutcome(results=[])
     for spec in specs:
         start = time.perf_counter()
-        result = spec.run(cache)
+        try:
+            result = spec.run(cache)
+        except SweepExecutionError as exc:
+            outcome.failures.append(_failure_from_sweep(spec, exc))
+            continue
+        except Exception as exc:
+            outcome.failures.append(
+                ExperimentFailure(
+                    experiment_id=spec.experiment_id,
+                    title=spec.title,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                    traceback=traceback.format_exc(),
+                    attempts=0,
+                )
+            )
+            continue
         result.elapsed_s = time.perf_counter() - start
-        results.append(result)
-    return results
+        outcome.results.append(result)
+    outcome.exec_counters = cache.exec_counters
+    return outcome
 
 
 def write_artifacts(
     out_dir: Path,
     results: list[ExperimentResult],
     store_counters: StoreCounters | None = None,
+    failures: list[ExperimentFailure] | None = None,
+    exec_counters: ExecCounters | None = None,
 ) -> list[Path]:
     """Write one ``<id>.json`` per result plus ``manifest.json``.
 
     Files are deterministic (sorted keys, no timings): two equivalent
-    runs produce byte-identical artifact directories.  When the run
-    used a store, its counters land in the manifest's ``store`` key —
-    the one intentionally run-dependent part, which is why CI byte-
-    diffs artifact directories with the manifest excluded.
+    runs produce byte-identical artifact directories.  The manifest
+    carries the run-dependent observability — store counters when a
+    store was attached, executor counters when anything anomalous
+    happened (retries, timeouts, worker deaths, rescues, degradation,
+    failures), and a ``failures`` map when experiments failed to
+    execute.  A clean run's manifest contains none of those keys, so
+    CI can still byte-diff clean artifact directories manifest
+    included; chaos runs diff with the manifest excluded.
     """
     out_dir.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
@@ -120,6 +233,12 @@ def write_artifacts(
     }
     if store_counters is not None:
         manifest["store"] = store_counters.as_dict()
+    if exec_counters is not None and exec_counters.anomalous:
+        manifest["exec"] = exec_counters.as_dict()
+    if failures:
+        manifest["failures"] = {
+            f.experiment_id: f.to_dict() for f in failures
+        }
     for result in results:
         path = out_dir / f"{result.experiment_id}.json"
         path.write_text(
@@ -149,9 +268,22 @@ def _print_list() -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Exit codes: 0 all experiments executed and passed; 1 a shape
+    check failed; 2 usage error; 3 an experiment failed to execute
+    (dominates 1).
+    """
     parser = argparse.ArgumentParser(
-        description="Regenerate the paper's tables and figures."
+        description="Regenerate the paper's tables and figures.",
+        epilog=(
+            "exit codes: 0 = all experiments executed, all shape "
+            "checks passed; 1 = some shape check failed; 2 = usage "
+            "error; 3 = some experiment failed to execute (recorded "
+            "in the summary/JSON/manifest; dominates 1).  Execution "
+            "is supervised: REPRO_EXEC tunes retries/timeouts/"
+            "backoff, REPRO_FAULTS injects deterministic chaos."
+        ),
     )
     parser.add_argument(
         "--list",
@@ -228,7 +360,7 @@ def main(argv: list[str] | None = None) -> int:
     duration = 15.0 if args.quick else 40.0
     store_dir = args.store or os.environ.get("REPRO_STORE")
     store = RunStore(store_dir) if store_dir else None
-    results = run_experiments(
+    outcome = run_experiments(
         names,
         duration_s=duration,
         seed=args.seed,
@@ -236,12 +368,15 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         store=store,
     )
+    results = outcome.results
 
     if args.out:
         write_artifacts(
             Path(args.out),
             results,
             store_counters=store.counters if store else None,
+            failures=outcome.failures,
+            exec_counters=outcome.exec_counters,
         )
 
     failed = sum(not r.all_passed for r in results)
@@ -253,8 +388,17 @@ def main(argv: list[str] | None = None) -> int:
         f"=== {len(results)} experiments, {passed_checks}/{total_checks} "
         f"shape checks passed ==="
     )
+    if outcome.failures:
+        summary = summary[: -len(" ===")] + (
+            f", {len(outcome.failures)} failed to execute ==="
+        )
     store_line = (
         f"store {store_dir}: {store.counters.summary()}" if store else None
+    )
+    exec_line = (
+        f"exec: {outcome.exec_counters.summary()}"
+        if outcome.exec_counters.anomalous
+        else None
     )
     if args.format == "json":
         document = {
@@ -264,19 +408,30 @@ def main(argv: list[str] | None = None) -> int:
         }
         if store:
             document["store"] = store.counters.as_dict()
+        if outcome.failures:
+            document["failures"] = [
+                f.to_dict() for f in outcome.failures
+            ]
         print(json.dumps(document, indent=2, sort_keys=True))
-        if store_line:
-            print(store_line, file=sys.stderr)
+        for line in (store_line, exec_line):
+            if line:
+                print(line, file=sys.stderr)
         print(summary, file=sys.stderr)
     else:
         for result in results:
             print(result.summary())
             print()
+        for failure in outcome.failures:
+            print(failure.summary())
+            print()
         if args.out:
             print(f"JSON artifacts written to {args.out}")
-        if store_line:
-            print(store_line)
+        for line in (store_line, exec_line):
+            if line:
+                print(line)
         print(summary)
+    if outcome.failures:
+        return EXIT_EXECUTION_FAILURE
     return 1 if failed else 0
 
 

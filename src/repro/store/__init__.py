@@ -16,6 +16,7 @@ from repro.store.keys import (
     canonical_config_dict,
     canonical_json,
     config_key,
+    config_key_bytes,
 )
 from repro.store.serialize import (
     config_from_dict,
@@ -31,6 +32,7 @@ __all__ = [
     "canonical_config_dict",
     "canonical_json",
     "config_key",
+    "config_key_bytes",
     "config_from_dict",
     "config_to_dict",
     "result_from_parts",

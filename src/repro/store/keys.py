@@ -60,3 +60,14 @@ def config_key(
     }
     digest = hashlib.sha256(canonical_json(material).encode("utf-8"))
     return digest.hexdigest()
+
+
+def config_key_bytes(config: SimulationConfig) -> bytes:
+    """The raw 32-byte digest behind :func:`config_key`.
+
+    The supervised executor keys per-task fault and backoff streams on
+    this digest: it is stable across processes and runs (unlike
+    ``hash()``), so injected-fault schedules and retry jitter are
+    deterministic properties of the config being simulated.
+    """
+    return bytes.fromhex(config_key(config))

@@ -9,10 +9,11 @@ colliding ids are computed at runtime.  Drawing the same key from the
 same site is idiomatic (paired experiment configs reuse seeds on
 purpose) and passes.
 
-Worker processes each keep their own ledger;
-``repro.experiments.common._simulate_config`` snapshots it per task so
-the parent can :func:`merge` shards and catch collisions that only
-exist *across* ``--jobs`` workers.
+Worker processes each keep their own ledger; the supervised worker
+entry (``repro.exec.supervisor._worker_entry``) snapshots it per task
+— on success *and* on error — so the parent can :func:`merge` shards
+per result and catch collisions that only exist *across* ``--jobs``
+workers.
 
 :func:`check_finite` is the companion NaN/inf canary the equivalence
 suite wraps around kernel-twin outputs: a vectorized kernel drifting

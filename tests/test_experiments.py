@@ -178,10 +178,35 @@ class TestDefaultRuns:
         assert configured is not default_runs()
         assert default_runs().base.seed == DEFAULT_SEED
 
-    def test_jobs_updated_in_place(self):
-        cache = default_runs(duration_s=2.5, seed=3, jobs=2)
-        assert cache.jobs == 2
-        assert default_runs(duration_s=2.5, seed=3).jobs == 2
+    def test_jobs_is_part_of_the_key(self):
+        """Requesting a worker count yields a dedicated cache; it no
+        longer mutates ``jobs`` on the shared instance, so one
+        caller's setting cannot leak into other callers of the same
+        base config."""
+        parallel = default_runs(duration_s=2.5, seed=3, jobs=2)
+        assert parallel.jobs == 2
+        assert parallel is default_runs(duration_s=2.5, seed=3, jobs=2)
+        serial = default_runs(duration_s=2.5, seed=3)
+        assert serial.jobs == 1
+        assert serial is not parallel
+
+    def test_store_is_part_of_the_key(self, tmp_path):
+        from repro.store import RunStore
+
+        backed = default_runs(
+            duration_s=2.5, seed=3, store=RunStore(tmp_path / "a")
+        )
+        assert backed.store is not None
+        # Same root: same cache (a fresh RunStore handle is fine).
+        assert backed is default_runs(
+            duration_s=2.5, seed=3, store=RunStore(tmp_path / "a")
+        )
+        # Different root or no store: different cache.
+        other = default_runs(
+            duration_s=2.5, seed=3, store=RunStore(tmp_path / "b")
+        )
+        assert other is not backed
+        assert default_runs(duration_s=2.5, seed=3).store is None
 
 
 class TestEvaluationHelpers:

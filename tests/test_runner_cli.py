@@ -243,10 +243,11 @@ class TestRunnerCli:
             run_experiments(["nonsense"])
 
     def test_run_experiments_returns_results(self):
-        results = run_experiments(["fig16"], duration_s=2.0)
-        assert len(results) == 1
-        assert results[0].experiment_id == "fig16"
-        assert results[0].elapsed_s is not None
+        outcome = run_experiments(["fig16"], duration_s=2.0)
+        assert len(outcome.results) == 1
+        assert outcome.results[0].experiment_id == "fig16"
+        assert outcome.results[0].elapsed_s is not None
+        assert outcome.failures == []
 
     def test_format_json(self, capsys):
         code = main(["--experiment", "fig13", "--format", "json"])
@@ -326,11 +327,80 @@ class TestRunnerStore:
         warm = RunStore(tmp_path)
         warm_results = run_experiments(
             ["table2"], duration_s=2.0, store=warm
-        )
+        ).results
         assert warm.counters.misses == 0
         assert warm.counters.writes == 0
         assert warm.counters.hits == cold.counters.misses
-        cold_results = run_experiments(["table2"], duration_s=2.0)
+        cold_results = run_experiments(["table2"], duration_s=2.0).results
         assert [r.to_dict() for r in warm_results] == [
             r.to_dict() for r in cold_results
         ]
+
+
+class TestRunnerFailures:
+    """The structured failure path and its exit-code contract."""
+
+    @pytest.fixture(autouse=True)
+    def _poison(self, monkeypatch):
+        """Poison every simulated point; keep attempts cheap."""
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        monkeypatch.setenv("REPRO_FAULTS", "fail=1.0")
+        monkeypatch.setenv(
+            "REPRO_EXEC", "max_attempts=2,backoff_base_s=0.001"
+        )
+
+    def test_poisoned_experiment_exits_3_without_aborting(
+        self, tmp_path, capsys
+    ):
+        # table2 needs a simulation point (poisoned); fig16 declares
+        # none, so it must still run to completion.
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            [
+                "--experiment",
+                "table2",
+                "fig16",
+                "--quick",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "EXECUTION FAILED" in out
+        assert "InjectedFailure" in out
+        assert "1 failed to execute" in out
+        assert (out_dir / "fig16.json").is_file()
+        assert not (out_dir / "table2.json").exists()
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        failure = manifest["failures"]["table2"]
+        assert failure["error_type"] == "InjectedFailure"
+        # max_attempts supervised tries plus the in-process rescue.
+        assert failure["attempts"] == 3
+        assert "InjectedFailure" in failure["traceback"]
+        assert manifest["exec"]["failed"] == 1
+
+    def test_failures_in_json_document(self, capsys):
+        code = main(
+            ["--experiment", "table2", "fig16", "--quick", "--format", "json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        document = json.loads(captured.out)
+        assert [r["experiment_id"] for r in document["results"]] == [
+            "fig16"
+        ]
+        assert [f["experiment_id"] for f in document["failures"]] == [
+            "table2"
+        ]
+        assert "1 failed to execute" in captured.err
+
+    def test_run_experiments_records_failures(self):
+        outcome = run_experiments(["table2"], duration_s=2.0)
+        assert outcome.results == []
+        assert len(outcome.failures) == 1
+        failure = outcome.failures[0]
+        assert failure.experiment_id == "table2"
+        assert failure.error_type == "InjectedFailure"
+        assert failure.attempts == 3
+        assert outcome.exec_counters.failed >= 1

@@ -15,7 +15,8 @@ import numpy as np
 import pytest
 
 import repro.experiments.common as common
-from repro.experiments.common import RunCache, _preferred_mp_context
+from repro.exec import FaultPlan, Supervisor, Task
+from repro.experiments.common import RunCache
 from repro.store import (
     RunStore,
     STORE_SCHEMA_VERSION,
@@ -42,7 +43,7 @@ def _config(**overrides):
 def run():
     """One cheap simulated point, shared across the module."""
     config = _config()
-    return config, common._simulate_config(config)[1]
+    return config, common._simulate_config(config)
 
 
 def _assert_results_identical(a, b) -> None:
@@ -259,7 +260,7 @@ def _racing_writer(root: str) -> int:
     """Worker body: repeatedly rewrite the same entry (fork-pickleable)."""
     config = _config()
     store = RunStore(root)
-    result = common._simulate_config(config)[1]
+    result = common._simulate_config(config)
     for _ in range(3):
         store.put(config, result)
     return store.counters.writes
@@ -267,10 +268,14 @@ def _racing_writer(root: str) -> int:
 
 class TestConcurrentWriters:
     def test_racing_writers_leave_a_valid_entry(self, tmp_path):
-        ctx = _preferred_mp_context()
-        with ctx.Pool(processes=2) as pool:
-            writes = pool.map(_racing_writer, [str(tmp_path)] * 2)
-        assert writes == [3, 3]
+        tasks = [
+            Task(task_id=i, payload=str(tmp_path), timeout_s=120.0)
+            for i in range(2)
+        ]
+        supervisor = Supervisor(jobs=2, faults=FaultPlan())
+        writes, failures = supervisor.run(tasks, _racing_writer)
+        assert failures == []
+        assert [writes[0], writes[1]] == [3, 3]
         store = RunStore(tmp_path)
         config = _config()
         assert store.get(config) is not None

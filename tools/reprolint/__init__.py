@@ -41,6 +41,11 @@ RP007  RNG stream-domain collisions: every ``derive_key`` /
        resolved to its ``(label, id-arity, literal extras)`` domain;
        two sites sharing a domain, a non-literal label, or starred
        ids outside a forwarder are flagged.
+RP008  bare worker pools: ``multiprocessing.Pool`` /
+       ``ProcessPoolExecutor`` / ``ctx.Pool(...)`` anywhere outside
+       the supervised-executor package ``src/repro/exec`` (parallel
+       fan-out goes through ``repro.exec.Supervisor``, which adds
+       timeouts, crash isolation, and deterministic retries).
 RP000  meta: malformed, unjustified, unknown-rule, or unused
        suppression comments.
 
@@ -52,7 +57,7 @@ Suppression syntax (justification mandatory)::
 from reprolint.core import Checker, Finding, LintConfig, Rule
 from reprolint.rules import ALL_RULES
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "ALL_RULES",

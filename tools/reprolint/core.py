@@ -79,6 +79,9 @@ class LintConfig:
     benchmarks_dir: str = "benchmarks"
     #: test tree (RP005's float-equality check does not apply there)
     tests_dirs: tuple[str, ...] = ("tests",)
+    #: the supervised-executor package — the one place allowed to
+    #: construct worker pools/processes directly (RP008)
+    exec_dirs: tuple[str, ...] = ("src/repro/exec",)
 
 
 @dataclass

@@ -571,6 +571,75 @@ class NondeterminismSources(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# RP008 — supervised fan-out
+# ---------------------------------------------------------------------------
+
+
+class BareWorkerPool(Rule):
+    """Parallel fan-out goes through the supervised executor.
+
+    PR 9 replaced the run cache's bare ``Pool.map`` with
+    ``repro.exec.Supervisor``: per-task worker processes with
+    deadline timeouts, crash isolation, deterministic keyed
+    retry/backoff, immediate result write-back, and ``REPRO_FAULTS``
+    injection.  A bare ``multiprocessing.Pool`` (or
+    ``ProcessPoolExecutor``) loses the whole batch to one dead worker
+    and waits forever on a wedged one, so constructing unsupervised
+    pools is allowed only inside the executor package itself (and the
+    exploratory ``examples/`` tree).
+    """
+
+    rule_id = "RP008"
+    title = "bare worker pool outside repro/exec"
+
+    _BANNED = {
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+        "multiprocessing.pool.ThreadPool",
+        "multiprocessing.dummy.Pool",
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+    }
+    #: attribute spellings that reach a pool through a context object
+    #: (``ctx.Pool(...)``), which import resolution cannot see
+    _BANNED_ATTRS = {"Pool", "ThreadPool", "ProcessPoolExecutor"}
+
+    def check_module(
+        self, module: SourceModule, config: LintConfig
+    ) -> Iterator[Finding]:
+        if module.is_under(*config.exec_dirs) or module.is_under(
+            *config.exploratory_dirs
+        ):
+            return
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, imports)
+            if name in self._BANNED:
+                yield Finding(
+                    self.rule_id,
+                    module.rel,
+                    node.lineno,
+                    f"bare `{name}` fan-out; run tasks through "
+                    "repro.exec.Supervisor (timeouts, crash "
+                    "isolation, deterministic retries)",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._BANNED_ATTRS
+            ):
+                yield Finding(
+                    self.rule_id,
+                    module.rel,
+                    node.lineno,
+                    f"`.{node.func.attr}(...)` constructs an "
+                    "unsupervised worker pool; run tasks through "
+                    "repro.exec.Supervisor",
+                )
+
+
 def _all_rules() -> tuple[Rule, ...]:
     # dataflow.py imports helpers from this module; resolve the cycle
     # by assembling the registry lazily at import completion.
@@ -582,6 +651,7 @@ def _all_rules() -> tuple[Rule, ...]:
         ExperimentContract(),
         HotPathPurity(),
         NondeterminismSources(),
+        BareWorkerPool(),
         *DATAFLOW_RULES,
     )
 

@@ -1,0 +1,8 @@
+"""The supervised executor package: pool construction lives here."""
+
+import multiprocessing
+
+
+def supervised_map(fn, payloads, jobs):
+    with multiprocessing.Pool(jobs) as pool:
+        return pool.map(fn, payloads)

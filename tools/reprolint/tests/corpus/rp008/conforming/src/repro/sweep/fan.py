@@ -1,0 +1,7 @@
+"""Fans a sweep through the supervised executor, as RP008 demands."""
+
+from repro.exec.pool import supervised_map
+
+
+def fan_out(configs, simulate, jobs=4):
+    return supervised_map(simulate, configs, jobs)

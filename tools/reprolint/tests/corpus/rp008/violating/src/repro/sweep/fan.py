@@ -1,0 +1,15 @@
+"""Fans a sweep across workers with bare, unsupervised pools."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(configs, simulate):
+    with multiprocessing.Pool(4) as pool:
+        results = pool.map(simulate, configs)
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(2) as pool:
+        results += pool.map(simulate, configs)
+    with ProcessPoolExecutor() as pool:
+        results += list(pool.map(simulate, configs))
+    return results

@@ -75,6 +75,11 @@ EXPECTED_VIOLATIONS = {
         ("RP006", "src/repro/sim/power.py", 14),  # db bound to mw param
         ("RP006", "src/repro/sim/power.py", 18),  # db compared with dbm
     ],
+    "rp008": [
+        ("RP008", "src/repro/sweep/fan.py", 8),  # multiprocessing.Pool
+        ("RP008", "src/repro/sweep/fan.py", 11),  # ctx.Pool via a context
+        ("RP008", "src/repro/sweep/fan.py", 13),  # ProcessPoolExecutor
+    ],
     "rp007": [
         ("RP007", "src/repro/sim/streams.py", 19),  # shares 'noise' with :15
         ("RP007", "src/repro/sim/streams.py", 23),  # non-literal label
