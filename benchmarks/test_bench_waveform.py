@@ -86,8 +86,10 @@ def test_bench_msk_modulator_1500_chips(benchmark):
 
 def test_bench_sync_correlate_4000_chips(benchmark):
     """Chip-domain sync correlation over a 4000-chip stream (the
-    rollback scan): vectorized cumulative-energy normalisation vs the
-    retained per-offset reference, spot-checked exact."""
+    rollback scan): FFT correlation + cumulative-energy normalisation
+    vs the retained per-offset loop reference, with the >= 5x gate.
+    The FFT path reassociates the sums, so the spot check pins at
+    1e-12 rather than bit-for-bit (see repro.phy.fftcorr)."""
     codebook = ZigbeeCodebook()
     sync = CorrelationSynchronizer(codebook, "postamble")
     rng = np.random.default_rng(2)
@@ -95,7 +97,23 @@ def test_bench_sync_correlate_4000_chips(benchmark):
 
     corr = benchmark(sync.correlate, chips)
     assert corr.size == 4000 - sync.pattern_chips + 1
-    assert np.array_equal(corr, sync.correlate_reference(chips))
+    np.testing.assert_allclose(
+        corr, sync.correlate_reference(chips), rtol=1e-12, atol=1e-12
+    )
+
+    start = time.perf_counter()
+    sync.correlate(chips)
+    vectorized_s = time.perf_counter() - start
+    start = time.perf_counter()
+    sync.correlate_reference(chips)
+    reference_s = time.perf_counter() - start
+    if benchmark.enabled:
+        speedup = reference_s / vectorized_s
+        assert speedup >= 5.0, (
+            f"FFT sync correlation only {speedup:.1f}x faster than "
+            f"the loop reference ({vectorized_s:.4f}s vs "
+            f"{reference_s:.4f}s)"
+        )
 
 
 def test_bench_waveform_engine_16_captures(benchmark):

@@ -45,6 +45,7 @@ from repro.link import (
     PprFrame,
     PprScheme,
     ReceivedPayload,
+    SicScheme,
     SpracScheme,
 )
 from repro.phy import (
@@ -60,6 +61,7 @@ from repro.phy import (
     WaveformBatchEngine,
     ZigbeeCodebook,
 )
+from repro.recovery import SicDecoder, SicPairResult
 from repro.sim import (
     NetworkSimulation,
     RadioMedium,
@@ -85,6 +87,7 @@ __all__ = [
     "PprFrame",
     "PprScheme",
     "ReceivedPayload",
+    "SicScheme",
     "SpracScheme",
     "Codebook",
     "HardDecisionDecoder",
@@ -97,6 +100,8 @@ __all__ = [
     "SoftSymbol",
     "WaveformBatchEngine",
     "ZigbeeCodebook",
+    "SicDecoder",
+    "SicPairResult",
     "NetworkSimulation",
     "RadioMedium",
     "SimulationConfig",

@@ -10,7 +10,10 @@ The report carries a summary table of every experiment's shape checks,
 then a section per experiment with the paper's expectation, the check
 details, the experiment's own ASCII rendering, and — for every flat
 numeric series — an empirical CDF sketch reusing
-:func:`repro.analysis.textplot.render_cdf`.
+:func:`repro.analysis.textplot.render_cdf`.  A partial sweep (a
+manifest whose ``failures`` map records experiments that could not
+execute) renders faithfully: the header flags the sweep as partial
+and an execution-failures section calls out each casualty.
 
 This module reads only the JSON artifacts (via
 :meth:`~repro.experiments.common.ExperimentResult.from_dict`), never
@@ -99,6 +102,45 @@ def _cdf_block(series: dict) -> list[str]:
     return lines
 
 
+def _failures_block(manifest: dict[str, Any] | None) -> list[str]:
+    """The markdown section for experiments that failed to execute.
+
+    The runner's manifest carries a ``failures`` map (experiment id →
+    error type, message, traceback, attempts) whenever an experiment
+    could not run; a report over such a partial sweep must say so
+    rather than silently presenting the survivors as the whole run.
+    """
+    failures = (manifest or {}).get("failures") or {}
+    if not failures:
+        return []
+    lines = [
+        "",
+        f"## Execution failures ({len(failures)})",
+        "",
+        "| experiment | error | attempts |",
+        "| --- | --- | --- |",
+    ]
+    for exp_id in sorted(failures):
+        failure = failures[exp_id]
+        error = (
+            f"{failure.get('error_type', '?')}: "
+            f"{failure.get('error', '')}"
+        )
+        attempts = failure.get("attempts", 0)
+        lines.append(
+            f"| `{exp_id}` | {error} | "
+            f"{attempts if attempts else '—'} |"
+        )
+    lines.extend(
+        [
+            "",
+            "These experiments produced no artifacts; the sections "
+            "below cover only the ones that completed.",
+        ]
+    )
+    return lines
+
+
 def _summary_table(results: list[ExperimentResult]) -> list[str]:
     lines = [
         "| experiment | title | shape checks | status |",
@@ -137,8 +179,15 @@ def render_markdown(
                 f"{store.get('writes', 0)} writes, "
                 f"{store.get('corrupt', 0)} corrupt"
             )
+        n_failed = len(manifest.get("failures") or {})
+        if n_failed:
+            lines.append(
+                f"**Partial sweep:** {n_failed} experiment(s) failed "
+                f"to execute; {len(results)} completed."
+            )
         lines.append("")
     lines.extend(_summary_table(results))
+    lines.extend(_failures_block(manifest))
     for r in results:
         lines.extend(
             [

@@ -27,6 +27,7 @@ from repro.link.schemes import (
     PacketCrcScheme,
     PprScheme,
     ReceivedPayload,
+    SicScheme,
     SpracScheme,
 )
 from repro.link.fragmentation import (
@@ -65,6 +66,7 @@ __all__ = [
     "PacketCrcScheme",
     "PprScheme",
     "ReceivedPayload",
+    "SicScheme",
     "SpracScheme",
     "AdaptiveFragmentSizer",
     "fragment_payload",

@@ -335,6 +335,27 @@ class PprScheme(DeliveryScheme):
         )
 
 
+class SicScheme(PprScheme):
+    """PPR delivery over SIC-recovered receptions (paper §6).
+
+    The wire format and the SoftPHY threshold rule are exactly
+    :class:`PprScheme` — what changes is *upstream*: receptions handed
+    to this scheme have been through successive interference
+    cancellation (:mod:`repro.recovery`), so a collided frame arrives
+    with its interferer's reconstruction already subtracted
+    (``SimulationConfig.sic_recovery`` in the network simulation, or
+    :class:`~repro.recovery.sic.SicDecoder` directly at waveform
+    level).  Keeping delivery identical isolates the collision-recovery
+    gain: any metric difference between ``ppr`` and ``sic`` traces is
+    attributable to cancellation alone.
+    """
+
+    name = "sic"
+
+    def __repr__(self) -> str:
+        return f"SicScheme(eta={self.eta})"
+
+
 class SpracScheme(DeliveryScheme):
     """Segmented RLNC delivery (S-PRAC, PAPERS.md) — beyond the paper.
 

@@ -50,6 +50,12 @@ from repro.phy.sync import (
     RollbackBuffer,
 )
 from repro.phy.frontend import ChipExtractRequest, ReceiverFrontend
+from repro.phy.remodulate import (
+    estimate_complex_scale,
+    remodulate_frame,
+    remodulate_frame_reference,
+    subtract_frame,
+)
 from repro.phy.convolutional import (
     ConvolutionalCode,
     SovaDecoder,
@@ -91,4 +97,8 @@ __all__ = [
     "CorrelationSynchronizer",
     "RollbackBuffer",
     "ReceiverFrontend",
+    "estimate_complex_scale",
+    "remodulate_frame",
+    "remodulate_frame_reference",
+    "subtract_frame",
 ]

@@ -38,6 +38,7 @@ from repro.phy.frontend import (
     ReceiverFrontend,
     SyncDetection,
 )
+from repro.phy.remodulate import subtract_frame
 from repro.phy.sync import sync_field_symbols
 from repro.utils.bitops import pack_bits_to_uint32
 
@@ -328,6 +329,29 @@ class WaveformBatchEngine:
                 detection=det2, symbols=sym2, hints=hints2
             ),
         )
+
+    def receive_residual(
+        self,
+        capture: np.ndarray,
+        cancellations: Sequence[tuple[np.ndarray, int]],
+        n_body_symbols: int,
+    ) -> tuple[FrameReception, np.ndarray]:
+        """Decode what remains of a capture after cancelling frames.
+
+        ``cancellations`` is a list of ``(waveform, sample_offset)``
+        reconstructions (already scaled by their estimated complex
+        gains — see :func:`repro.phy.remodulate.estimate_complex_scale`);
+        each is subtracted from the capture and the residual goes
+        through the standard single-frame reception policy
+        (:meth:`receive_frames`).  Returns the residual reception and
+        the residual samples, so callers can iterate the cancellation
+        or hand the leftovers to chunk recovery.
+        """
+        residual = np.asarray(capture, dtype=np.complex128)
+        for waveform, sample_offset in cancellations:
+            residual = subtract_frame(residual, waveform, sample_offset)
+        reception = self.receive_frames([residual], n_body_symbols)[0]
+        return reception, residual
 
     def receive_frames(
         self,

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.phy.codebook import Codebook
 from repro.phy.demodulation import MskDemodulator
+from repro.phy.fftcorr import FftCorrelator
 from repro.phy.modulation import MskModulator
 from repro.phy.sync import peak_offsets, sync_field_symbols
 from repro.utils.bitops import pack_bits_to_uint32
@@ -86,9 +87,11 @@ class ReceiverFrontend:
         self._demod = MskDemodulator(sps)
         modulator = MskModulator(sps=sps)
         self._refs = {}
+        self._correlators = {}
         for kind in ("preamble", "postamble"):
             symbols = sync_field_symbols(kind)
             self._refs[kind] = modulator.modulate_symbols(symbols, codebook)
+            self._correlators[kind] = FftCorrelator(self._refs[kind])
 
     @property
     def codebook(self) -> Codebook:
@@ -116,8 +119,17 @@ class ReceiverFrontend:
     ) -> np.ndarray:
         """Row-wise sync correlation over equal-length captures:
         ``(n_captures, n_samples)`` in, ``(n_captures, n_offsets)``
-        out.  Each row is bit-identical to :meth:`correlation` on that
-        capture alone."""
+        out.
+
+        The raw correlation is one FFT product over the whole batch
+        (:class:`~repro.phy.fftcorr.FftCorrelator`) instead of one
+        ``np.correlate`` per capture — the pattern here is 1280
+        samples at 4 samples/chip, where the FFT path is ~8x faster.
+        Each row is bit-identical to :meth:`correlation` on that
+        capture alone (pocketfft transforms rows independently); the
+        time-domain loop spec :meth:`correlation_reference` is pinned
+        at 1e-12 rather than bit-for-bit, the FFT reassociation being
+        the one sanctioned deviation."""
         ref = self._refs[kind]
         samples = np.asarray(samples, dtype=np.complex128)
         if samples.ndim != 2:
@@ -127,9 +139,7 @@ class ReceiverFrontend:
             )
         if samples.shape[1] < ref.size:
             return np.zeros((samples.shape[0], 0), dtype=np.float64)
-        raw = np.stack(
-            [np.correlate(row, ref, mode="valid") for row in samples]
-        )
+        raw = self._correlators[kind].correlate_rows(samples)
         energy = np.concatenate(
             [
                 np.zeros((samples.shape[0], 1)),
@@ -142,6 +152,36 @@ class ReceiverFrontend:
         with np.errstate(divide="ignore", invalid="ignore"):
             corr = np.where(denom > 0, np.abs(raw) / denom, 0.0)
         return corr
+
+    def correlation_reference(
+        self, samples: np.ndarray, kind: str
+    ) -> np.ndarray:
+        """Per-offset loop implementation, kept as the executable spec
+        for :meth:`correlation` / :meth:`correlation_batch`: a scalar
+        running energy sum and one conjugate dot product per
+        alignment.  The FFT fast path reassociates these sums, so the
+        equivalence suite pins the pair at 1e-12 (batch-vs-single
+        consistency of the fast path itself stays bit-for-bit)."""
+        ref = self._refs[kind]
+        ref_conj = np.conj(ref)
+        ref_norm = float(np.linalg.norm(ref))
+        samples = np.asarray(samples, dtype=np.complex128)
+        m = ref.size
+        n = samples.size
+        if n < m:
+            return np.zeros(0, dtype=np.float64)
+        energy = np.empty(n + 1, dtype=np.float64)
+        energy[0] = 0.0
+        acc = 0.0
+        for i in range(n):
+            acc += abs(samples[i]) ** 2
+            energy[i + 1] = acc
+        out = np.empty(n - m + 1, dtype=np.float64)
+        for i in range(out.size):
+            raw = np.dot(samples[i : i + m], ref_conj)
+            denom = np.sqrt(energy[i + m] - energy[i]) * ref_norm
+            out[i] = abs(raw) / denom if denom > 0 else 0.0
+        return out
 
     def _emit_detections(
         self, samples: np.ndarray, corr: np.ndarray, kind: str

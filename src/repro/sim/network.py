@@ -47,6 +47,7 @@ from repro.phy.spreading import symbols_to_bytes
 from repro.sim.core import EventScheduler
 from repro.sim.mac import CsmaConfig, CsmaMac
 from repro.sim.medium import PathLossModel, RadioMedium, Transmission
+from repro.sim.sicpass import apply_sic_recovery
 from repro.sim.testbed import TestbedConfig, paper_testbed, wall_count_matrix
 from repro.sim.traffic import PoissonSource
 from repro.utils.bitops import popcount32
@@ -91,6 +92,11 @@ class SimulationConfig:
     # pass (bit-identical to per-reception decoding; disable only to
     # cross-check or profile the unbatched path).
     batch_decode: bool = True
+    # Re-decode isolated two-frame collisions at waveform fidelity
+    # through the SIC pipeline (repro.sim.sicpass) after the chip-level
+    # pass.  Opt-in: the waveform re-render costs orders of magnitude
+    # more per collision than the chip-level channel.
+    sic_recovery: bool = False
 
     def __post_init__(self) -> None:
         if self.load_bits_per_s_per_node <= 0:
@@ -655,6 +661,15 @@ class NetworkSimulation:
         pendings = self._transit_all_batched(transmissions, fades)
         records = self._decode_pendings(pendings)
         self._arbitrate_locks(records)
+        if cfg.sic_recovery:
+            apply_sic_recovery(
+                cfg,
+                self._codebook,
+                self._medium,
+                transmissions,
+                fades,
+                records,
+            )
         return SimulationResult(
             config=cfg,
             testbed=self._testbed,

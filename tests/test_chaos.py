@@ -30,17 +30,20 @@ _CHAOS_FAULTS = "crash=0.2,hang=0.15,flaky=0.3"
 _CHAOS_EXEC = "timeout_base_s=3,timeout_scale=0,backoff_base_s=0.01"
 
 # The deterministic fault schedule for these four configs under
-# _CHAOS_FAULTS (attempts 1..):
-#   configs[0]: none                  -> clean first try
-#   configs[1]: crash, none           -> one worker death, one retry
-#   configs[2]: none                  -> clean first try
-#   configs[3]: hang, flaky, none     -> one timeout, two retries
+# _CHAOS_FAULTS (attempts 1..; the schedule is keyed off the config
+# content digest, so it reshuffles whenever SimulationConfig grows a
+# field):
+#   configs[0]: none                     -> clean first try
+#   configs[1]: none                     -> clean first try
+#   configs[2]: hang, flaky, hang, hang  -> supervised budget spent,
+#                                           in-process rescue
+#   configs[3]: flaky, crash, hang, none -> three retries, clean 4th
 _EXPECTED_CHAOS_COUNTERS = {
     "completed": 4,
-    "retries": 3,
-    "timeouts": 1,
+    "retries": 6,
+    "timeouts": 4,
     "worker_deaths": 1,
-    "rescued": 0,
+    "rescued": 1,
     "degraded": 0,
     "failed": 0,
 }
@@ -148,10 +151,10 @@ class TestWarmResume:
     ):
         """Write-back is per point: a permanent failure loses only its
         own point, and a later clean run completes just the gap."""
-        # fail=0.7 deterministically poisons exactly configs[3] (all
-        # of its attempts and the rescue draw under 0.7) while the
+        # fail=0.5 deterministically poisons exactly configs[2] (all
+        # of its attempts and the rescue draw under 0.5) while the
         # other three points complete.
-        monkeypatch.setenv("REPRO_FAULTS", "fail=0.7")
+        monkeypatch.setenv("REPRO_FAULTS", "fail=0.5")
         monkeypatch.setenv(
             "REPRO_EXEC", "max_attempts=2,backoff_base_s=0.01"
         )
@@ -165,7 +168,7 @@ class TestWarmResume:
         assert len(excinfo.value.failures) == 1
         failure = excinfo.value.failures[0]
         assert failure.error_type == "InjectedFailure"
-        assert failure.task.payload == configs[3]
+        assert failure.task.payload == configs[2]
         # Every completed point was written back before the sweep
         # raised.
         assert store.counters.writes == 3
@@ -186,7 +189,7 @@ class TestWarmResume:
         the survivors from the store and simulates only the casualty —
         and the merged sweep matches the clean ground truth bit for
         bit."""
-        monkeypatch.setenv("REPRO_FAULTS", "fail=0.7")
+        monkeypatch.setenv("REPRO_FAULTS", "fail=0.5")
         monkeypatch.setenv(
             "REPRO_EXEC", "max_attempts=2,backoff_base_s=0.01"
         )

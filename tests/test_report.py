@@ -124,6 +124,82 @@ class TestRenderMarkdown:
         assert "[FAIL] broken" in report
 
 
+def _failure_entry(exp_id="fig9", **overrides) -> dict:
+    """One manifest ``failures`` entry, as the runner writes them."""
+    entry = {
+        "experiment_id": exp_id,
+        "title": "Broken experiment",
+        "error_type": "InjectedFailure",
+        "error": "injected fault (attempt 3)",
+        "traceback": "Traceback (most recent call last): ...",
+        "attempts": 3,
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestFailuresRendering:
+    def test_partial_sweep_renders_failures_section(self):
+        manifest = {
+            "schema_version": 1,
+            "failures": {"fig9": _failure_entry()},
+        }
+        report = render_markdown([_result()], manifest)
+        assert "**Partial sweep:** 1 experiment(s) failed" in report
+        assert "## Execution failures (1)" in report
+        assert "| `fig9` | InjectedFailure: injected fault" in report
+        assert "| 3 |" in report
+        # The completed experiment still renders in full.
+        assert "## figX —" in report
+        assert "ASCII ART" in report
+
+    def test_failures_sorted_and_counted(self):
+        manifest = {
+            "failures": {
+                "zeta": _failure_entry("zeta"),
+                "alpha": _failure_entry("alpha", attempts=0),
+            }
+        }
+        report = render_markdown([_result()], manifest)
+        assert "## Execution failures (2)" in report
+        assert report.index("`alpha`") < report.index("`zeta`")
+        # attempts=0 (not a sweep failure) renders as a dash.
+        alpha_row = next(
+            line
+            for line in report.splitlines()
+            if line.startswith("| `alpha`")
+        )
+        assert alpha_row.endswith("| — |")
+
+    def test_clean_manifest_has_no_failures_section(self, artifact_dir):
+        results, manifest = load_results(artifact_dir)
+        report = render_markdown(results, manifest)
+        assert "Execution failures" not in report
+        assert "Partial sweep" not in report
+
+    def test_failures_survive_the_artifact_round_trip(
+        self, artifact_dir, tmp_path
+    ):
+        """A manifest written with failures entries (as the runner
+        writes after a poisoned sweep) drives the report end to end."""
+        import json
+
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        source = artifact_dir / "fig13.json"
+        (partial / "fig13.json").write_text(source.read_text())
+        manifest = {
+            "schema_version": 1,
+            "experiments": {"fig13": {"file": "fig13.json"}},
+            "failures": {"fig9": _failure_entry()},
+        }
+        (partial / "manifest.json").write_text(json.dumps(manifest))
+        results, loaded = load_results(partial)
+        report = render_markdown(results, loaded)
+        assert "## Execution failures (1)" in report
+        assert "## fig13 —" in report
+
+
 class TestReportCli:
     def test_writes_report_file(self, artifact_dir, tmp_path, capsys):
         out = tmp_path / "report.md"

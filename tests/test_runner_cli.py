@@ -35,6 +35,7 @@ EXPECTED_IDS = {
     "sweep_load",
     "waveform_capture",
     "coded_recovery",
+    "sic_collision",
 }
 
 

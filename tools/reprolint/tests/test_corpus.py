@@ -120,9 +120,10 @@ def test_finding_render_format():
 # the real repository
 # ---------------------------------------------------------------------------
 
-#: the nine vectorized kernels whose loop specs the repo maintains
+#: the eleven vectorized kernels whose loop specs the repo maintains
 EXPECTED_TWINS = {
     "correlate",
+    "correlation",
     "decode",
     "demodulate_soft",
     "gf2_eliminate",
@@ -131,6 +132,7 @@ EXPECTED_TWINS = {
     "gf256_encode",
     "modulate_chips",
     "plan_chunks",
+    "remodulate_frame",
 }
 
 
@@ -148,7 +150,7 @@ def _real_reference_names() -> set[str]:
     return names
 
 
-def test_rp002_sees_all_nine_real_reference_twins():
+def test_rp002_sees_all_eleven_real_reference_twins():
     assert _real_reference_names() == {f"{t}_reference" for t in EXPECTED_TWINS}
 
 
